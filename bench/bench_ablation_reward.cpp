@@ -1,0 +1,68 @@
+// E6 -- ablation of the reward shaping in Eq. (4): plain distance reward
+// (rhat only) versus the belt-penalty reward the paper proposes.
+//
+// On the pendulum, both variants train with identical budgets and seeds;
+// reported: evaluation safety rate and mean return over training rounds.
+// Expected shape: the belt penalty accelerates and stabilizes convergence
+// to a safe policy (the paper: "making the convergence effect better").
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "rl/ddpg.hpp"
+#include "systems/benchmarks.hpp"
+
+int main() {
+  using namespace scs;
+  const bool fast = std::getenv("SCS_FAST") != nullptr;
+  const int rounds = fast ? 3 : 6;
+  const int episodes_per_round = fast ? 20 : 50;
+
+  const Benchmark bench = make_benchmark(BenchmarkId::kC1);
+
+  std::cout << "=== Ablation: reward shaping Eq. (4) -- belt penalty on/off "
+               "(pendulum) ===\n";
+  std::cout << std::left << std::setw(10) << "episodes" << std::setw(24)
+            << "belt ON: safety/return" << std::setw(24)
+            << "belt OFF: safety/return" << "\n";
+
+  // Two identically seeded agents, differing only in the reward.
+  EnvConfig cfg_on;
+  cfg_on.dt = bench.rl.dt;
+  cfg_on.max_steps = bench.rl.steps_per_episode;
+  EnvConfig cfg_off = cfg_on;
+  cfg_off.use_belt_penalty = false;
+
+  ControlEnv env_on(bench.ccds, cfg_on);
+  ControlEnv env_off(bench.ccds, cfg_off);
+  // Evaluation always uses the shaped environment so returns are comparable.
+  ControlEnv env_eval(bench.ccds, cfg_on);
+
+  DdpgConfig ddpg_cfg;
+  ddpg_cfg.actor_hidden = bench.hidden_layers;
+  Rng rng_on(2024), rng_off(2024);
+  DdpgAgent agent_on(2, 1, ddpg_cfg, rng_on);
+  DdpgAgent agent_off(2, 1, ddpg_cfg, rng_off);
+
+  for (int round = 1; round <= rounds; ++round) {
+    agent_on.train(env_on, episodes_per_round, rng_on);
+    agent_off.train(env_off, episodes_per_round, rng_off);
+    Rng eval_rng(99);
+    const EvalResult ev_on = agent_on.evaluate(env_eval, 20, eval_rng);
+    Rng eval_rng2(99);
+    const EvalResult ev_off = agent_off.evaluate(env_eval, 20, eval_rng2);
+    std::ostringstream on, off;
+    on << ev_on.safety_rate << " / " << std::setprecision(4)
+       << ev_on.mean_return;
+    off << ev_off.safety_rate << " / " << std::setprecision(4)
+        << ev_off.mean_return;
+    std::cout << std::left << std::setw(10) << round * episodes_per_round
+              << std::setw(24) << on.str() << std::setw(24) << off.str()
+              << "\n"
+              << std::flush;
+  }
+  std::cout << "\n(expected shape: the belt-penalty agent reaches safety "
+               "rate ~1 earlier\n and holds it more consistently)\n";
+  return 0;
+}

@@ -1,0 +1,144 @@
+// E5 -- google-benchmark micro-benchmarks for the solver kernels backing
+// the pipeline: the scenario minimax fit (scaling in K and in the template
+// size v) and the SOS/SDP stack (scaling in Gram block size), plus the
+// polynomial kernels they are built on.
+#include <benchmark/benchmark.h>
+
+#include "opt/minimax_fit.hpp"
+#include "opt/sdp.hpp"
+#include "poly/basis.hpp"
+#include "poly/lie.hpp"
+#include "sos/certificate.hpp"
+#include "util/rng.hpp"
+
+namespace scs {
+namespace {
+
+void BM_MinimaxFit_SamplesSweep(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  Mat design(k, 6);
+  Vec targets(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const double x1 = rng.uniform(-1.0, 1.0);
+    const double x2 = rng.uniform(-1.0, 1.0);
+    design.set_row(i, Vec{1.0, x1, x2, x1 * x1, x1 * x2, x2 * x2});
+    targets[i] = std::tanh(2.0 * x1 - x2);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(minimax_fit(design, targets));
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(k));
+}
+BENCHMARK(BM_MinimaxFit_SamplesSweep)
+    ->RangeMultiplier(4)
+    ->Range(1000, 256000)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity(benchmark::oN);
+
+void BM_MinimaxFit_TemplateSweep(benchmark::State& state) {
+  const int degree = static_cast<int>(state.range(0));
+  Rng rng(2);
+  const std::size_t n = 4;
+  const auto basis = monomials_up_to(n, degree);
+  const std::size_t k = 20000;
+  Mat design(k, basis.size());
+  Vec targets(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const Vec x(rng.uniform_vector(n, -1.0, 1.0));
+    design.set_row(i, evaluate_basis(basis, x));
+    targets[i] = std::tanh(x[0] - 0.3 * x[1] + x[2] * x[3]);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(minimax_fit(design, targets));
+  }
+}
+BENCHMARK(BM_MinimaxFit_TemplateSweep)
+    ->DenseRange(1, 4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SdpGramBlock(benchmark::State& state) {
+  // min tr(X) with random sparse constraints on one Gram-sized block.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  SdpProblem p;
+  p.block_dims = {n};
+  p.block_obj_weight = {1.0};
+  // Feasible by construction around X0 = I.
+  for (std::size_t i = 0; i < 2 * n; ++i) {
+    SdpConstraint c;
+    const std::size_t r = rng.index(n);
+    const std::size_t cc = r + rng.index(n - r);
+    const double v = rng.uniform(-1.0, 1.0);
+    c.entries.push_back({0, r, cc, v});
+    c.rhs = (r == cc) ? v : 0.0;
+    p.constraints.push_back(c);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_sdp(p));
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(BM_SdpGramBlock)
+    ->RangeMultiplier(2)
+    ->Range(4, 64)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+
+void BM_SosDecompose(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  // A random SOS polynomial of degree 4.
+  const auto basis = monomials_up_to(n, 2);
+  Polynomial p(n);
+  for (int k = 0; k < 3; ++k) {
+    Vec c(basis.size());
+    for (auto& v : c) v = rng.uniform(-1.0, 1.0);
+    const Polynomial q = Polynomial::from_coefficients(basis, c);
+    p += q * q;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sos_decompose(p));
+  }
+}
+BENCHMARK(BM_SosDecompose)->DenseRange(2, 5)->Unit(benchmark::kMillisecond);
+
+void BM_PolynomialMultiply(benchmark::State& state) {
+  const int degree = static_cast<int>(state.range(0));
+  Rng rng(5);
+  const auto basis = monomials_up_to(4, degree);
+  Vec c1(basis.size()), c2(basis.size());
+  for (auto& v : c1.data()) v = rng.normal();
+  for (auto& v : c2.data()) v = rng.normal();
+  const Polynomial a = Polynomial::from_coefficients(basis, c1);
+  const Polynomial b = Polynomial::from_coefficients(basis, c2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+BENCHMARK(BM_PolynomialMultiply)->DenseRange(2, 5);
+
+void BM_LieDerivative(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  const auto basis2 = monomials_up_to(n, 2);
+  std::vector<Polynomial> field;
+  for (std::size_t i = 0; i < n; ++i) {
+    Vec c(basis2.size());
+    for (auto& v : c.data()) v = rng.normal();
+    field.push_back(Polynomial::from_coefficients(basis2, c));
+  }
+  const auto basis4 = monomials_up_to(n, 4);
+  Vec cb(basis4.size());
+  for (auto& v : cb.data()) v = rng.normal();
+  const Polynomial barrier = Polynomial::from_coefficients(basis4, cb);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lie_derivative(barrier, field));
+  }
+}
+BENCHMARK(BM_LieDerivative)->DenseRange(2, 9);
+
+}  // namespace
+}  // namespace scs
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// E2 -- regenerates TABLE 2: the full pipeline on the C1..C10 benchmark
+// suite plus the 'nncontroller' baseline comparison.
+//
+// For every benchmark: DDPG training -> Algorithm 1 PAC approximation ->
+// SOS barrier-certificate verification (T_p column), then the baseline
+// (supervised NN controller + barrier with exhaustive grid verification;
+// T_n column or 'x' on failure -- the baseline's grid is exponential in n,
+// so it passes only the low-dimensional cases, as in the paper).
+//
+// Environment knobs:
+//   SCS_FAST=1         reduced budgets (smoke run)
+//   SCS_BENCH=C3       run a single benchmark
+//   SCS_T2_EPISODES=N  RL episode override
+//   SCS_T2_MAXK=N      cap the scenario sample count (eps is recomputed
+//                      honestly from the capped K, Theorem 3)
+//   SCS_SKIP_BASELINE=1  skip the nncontroller column
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "baseline/nncontroller.hpp"
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "util/stopwatch.hpp"
+
+int main() {
+  using namespace scs;
+  const bool fast = std::getenv("SCS_FAST") != nullptr;
+  const char* only = std::getenv("SCS_BENCH");
+  const char* ep_env = std::getenv("SCS_T2_EPISODES");
+  const bool skip_baseline = std::getenv("SCS_SKIP_BASELINE") != nullptr;
+
+  std::cout << "=== Table 2: performance evaluation (Poly.controller vs "
+               "nncontroller) ===\n";
+  std::cout << table2_header() << "\n";
+
+  Stopwatch total;
+  int succeeded = 0, attempted = 0;
+  for (const BenchmarkId id : all_benchmark_ids()) {
+    const Benchmark bench = make_benchmark(id);
+    if (only != nullptr && bench.name != only) continue;
+    ++attempted;
+
+    PipelineConfig cfg;
+    cfg.seed = 2024;
+    if (ep_env != nullptr) cfg.rl_episodes = std::atoi(ep_env);
+    if (const char* maxk = std::getenv("SCS_T2_MAXK"); maxk != nullptr)
+      cfg.pac_fit.max_samples =
+          static_cast<std::uint64_t>(std::atoll(maxk));
+    if (fast) {
+      cfg.rl_episodes = (cfg.rl_episodes > 0) ? cfg.rl_episodes : 60;
+      cfg.pac_fit.max_samples = 10000;
+    }
+    const SynthesisResult result = synthesize(bench, cfg);
+    if (result.success) ++succeeded;
+
+    NnControllerResult baseline;
+    bool have_baseline = false;
+    if (!skip_baseline) {
+      NnControllerConfig bl_cfg;
+      // The baseline's exhaustive grid cannot run beyond n = 3 (it refuses
+      // up front -- the 'x' regime), so the full training budget is only
+      // spent where the verification verdict depends on it.
+      const bool verifiable = bench.ccds.num_states <= 3;
+      bl_cfg.train_iterations = verifiable ? (fast ? 800 : 4000) : 300;
+      bl_cfg.verify_budget_seconds = fast ? 15.0 : 60.0;
+      baseline = run_nncontroller(bench.ccds, bl_cfg);
+      have_baseline = true;
+    }
+    std::cout << table2_row(bench, result,
+                            have_baseline ? &baseline : nullptr)
+              << "\n"
+              << std::flush;
+  }
+  std::cout << "\nPoly.controller verified " << succeeded << "/" << attempted
+            << " benchmarks in " << total.seconds() << " s total\n"
+            << "(paper: 10/10 for Poly.controller; nncontroller verifies "
+               "only C1-C3)\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Command-line front end: run the pipeline on a named benchmark and persist
+// the verified artifacts (controller, barrier certificate, PAC metadata).
+//
+//   ./synthesize_cli C3 out.txt [episodes]
+//   ./synthesize_cli --load out.txt        # re-validate saved artifacts
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "barrier/validation.hpp"
+#include "core/artifacts.hpp"
+#include "core/pipeline.hpp"
+
+namespace {
+
+int run_load(const char* path) {
+  using namespace scs;
+  const SynthesisArtifacts a = load_artifacts_file(path);
+  std::cout << "loaded artifacts for " << a.benchmark << " (n = "
+            << a.num_states << ")\n"
+            << "controller p(x) = " << a.controller[0].to_string(5) << "\n"
+            << "barrier B(x)    = " << a.barrier.to_string(5) << "\n"
+            << "PAC: degree " << a.pac.degree << ", e = " << a.pac.error
+            << ", eps = " << a.pac.eps << ", K = " << a.pac.samples << "\n";
+  // Re-validate against the named benchmark if it is one of C1..C10.
+  for (const auto id : all_benchmark_ids()) {
+    const Benchmark bench = make_benchmark(id);
+    if (bench.name != a.benchmark) continue;
+    Rng rng(1);
+    ValidationConfig cfg;
+    const ValidationReport report = validate_barrier(
+        bench.ccds, a.controller, a.barrier, cfg, rng);
+    std::cout << "re-validation: " << (report.passed ? "PASSED" : "FAILED")
+              << " -- " << report.detail << "\n";
+    return report.passed ? 0 : 1;
+  }
+  std::cout << "(not a built-in benchmark; skipping re-validation)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace scs;
+  if (argc >= 3 && std::strcmp(argv[1], "--load") == 0)
+    return run_load(argv[2]);
+  if (argc < 3) {
+    std::cerr << "usage: " << argv[0] << " <C1..C10> <output-file> "
+              << "[episodes]\n       " << argv[0] << " --load <file>\n";
+    return 2;
+  }
+
+  const std::string name = argv[1];
+  for (const auto id : all_benchmark_ids()) {
+    const Benchmark bench = make_benchmark(id);
+    if (bench.name != name) continue;
+
+    PipelineConfig config;
+    config.seed = 2024;
+    if (argc > 3) config.rl_episodes = std::atoi(argv[3]);
+    config.pac_fit.max_samples = 50000;
+    const SynthesisResult result = synthesize(bench, config);
+    if (!result.success) {
+      std::cerr << "synthesis failed at stage '" << result.failure_stage
+                << "': " << result.barrier.failure_reason << "\n";
+      return 1;
+    }
+    save_artifacts_file(artifacts_from(result, bench.ccds.num_states),
+                        argv[2]);
+    std::cout << "verified controller + certificate written to " << argv[2]
+              << "\n";
+    return 0;
+  }
+  std::cerr << "unknown benchmark '" << name << "' (expected C1..C10)\n";
+  return 2;
+}

@@ -1,0 +1,55 @@
+#include "barrier/mc_safety.hpp"
+
+#include <cmath>
+
+#include "ode/trajectory.hpp"
+#include "util/check.hpp"
+
+namespace scs {
+
+namespace {
+McSafetyResult run_rollouts(const Ccds& system, const VectorField& field,
+                            const McSafetyConfig& config, Rng& rng) {
+  SCS_REQUIRE(config.rollouts > 0, "estimate_safety: need rollouts > 0");
+  SCS_REQUIRE(config.eta > 0.0 && config.eta < 1.0,
+              "estimate_safety: bad eta");
+  McSafetyResult result;
+  result.rollouts = config.rollouts;
+  SimulateOptions opts;
+  opts.dt = config.dt;
+  opts.max_steps = config.max_steps;
+  opts.record = false;
+  for (std::size_t i = 0; i < config.rollouts; ++i) {
+    const Vec x0 = system.init_set.sample(rng);
+    const Trajectory traj =
+        simulate(field, x0, opts, [&system](const Vec& x) {
+          return system.unsafe_set.contains(x);
+        });
+    if (traj.stop == StopReason::kPredicate ||
+        traj.stop == StopReason::kDiverged)
+      ++result.violations;
+  }
+  result.violation_rate = static_cast<double>(result.violations) /
+                          static_cast<double>(result.rollouts);
+  const double hoeffding =
+      std::sqrt(std::log(1.0 / config.eta) /
+                (2.0 * static_cast<double>(result.rollouts)));
+  result.violation_upper_bound = std::min(1.0, result.violation_rate +
+                                                   hoeffding);
+  return result;
+}
+}  // namespace
+
+McSafetyResult estimate_safety(const Ccds& system, const ControlLaw& law,
+                               const McSafetyConfig& config, Rng& rng) {
+  return run_rollouts(system, system.closed_loop_field(law), config, rng);
+}
+
+McSafetyResult estimate_safety(const Ccds& system,
+                               const std::vector<Polynomial>& controller,
+                               const McSafetyConfig& config, Rng& rng) {
+  return run_rollouts(system, system.closed_loop_field(controller), config,
+                      rng);
+}
+
+}  // namespace scs

@@ -1,0 +1,402 @@
+#include "barrier/synthesis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "poly/basis.hpp"
+#include "sos/sos_program.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+#include "util/stopwatch.hpp"
+
+namespace scs {
+
+std::string to_string(LambdaStrategy s) {
+  switch (s) {
+    case LambdaStrategy::kZero:
+      return "zero";
+    case LambdaStrategy::kConstant:
+      return "constant";
+    case LambdaStrategy::kLinear:
+      return "linear";
+    case LambdaStrategy::kAlternating:
+      return "alternating-BMI";
+  }
+  return "?";
+}
+
+namespace {
+
+int even_ceil(int d) { return (d % 2 == 0) ? d : d + 1; }
+
+int max_degree_of(const std::vector<Polynomial>& polys) {
+  int d = 0;
+  for (const auto& p : polys) d = std::max(d, p.degree());
+  return d;
+}
+
+/// Estimated number of equality constraints for the three identities.
+std::size_t estimate_constraints(std::size_t n, int d1, int d2, int d3) {
+  return static_cast<std::size_t>(monomial_count(n, d1)) +
+         static_cast<std::size_t>(monomial_count(n, d2)) +
+         static_cast<std::size_t>(monomial_count(n, d3));
+}
+
+struct ProgramOutcome {
+  bool feasible = false;
+  Polynomial barrier;
+  Polynomial lambda;
+  double max_identity_residual = 0.0;
+  double min_gram_eigenvalue = 0.0;
+  std::string failure_reason;
+};
+
+/// Build and solve one instance of program (12).
+///
+/// Exactly one of (fixed_barrier, barrier free) and exactly one of
+/// (fixed_lambda, lambda free) applies: pass fixed_* == nullptr to make that
+/// polynomial a decision variable. Making both free would be the BMI; that
+/// combination is rejected.
+ProgramOutcome solve_program(const Ccds& system,
+                             const std::vector<Polynomial>& closed_field,
+                             int barrier_degree, int lambda_degree,
+                             const Polynomial* fixed_barrier,
+                             const Polynomial* fixed_lambda,
+                             const BarrierConfig& config) {
+  SCS_REQUIRE(!(fixed_barrier == nullptr && fixed_lambda == nullptr),
+              "solve_program: B and lambda cannot both be free (BMI)");
+  const std::size_t n = system.num_states;
+  ProgramOutcome out;
+
+  const auto& g = system.init_set.inequalities();
+  const auto& h = system.domain.inequalities();
+  const auto& q = system.unsafe_set.inequalities();
+
+  const int field_deg = std::max(1, max_degree_of(closed_field));
+  const int d_b = (fixed_barrier != nullptr)
+                      ? std::max(1, fixed_barrier->degree())
+                      : barrier_degree;
+  const int d_lambda = (fixed_lambda != nullptr)
+                           ? std::max(0, fixed_lambda->degree())
+                           : lambda_degree;
+
+  // Identity degrees (each rounded up to even for the SOS residual).
+  const int d1 = even_ceil(std::max(d_b, max_degree_of(g)));
+  const int d2 = even_ceil(std::max({field_deg + d_b - 1, d_lambda + d_b,
+                                     max_degree_of(h)}));
+  const int d3 = even_ceil(std::max(d_b, max_degree_of(q)));
+
+  const std::size_t est = estimate_constraints(n, d1, d2, d3);
+  if (est > config.max_sdp_constraints) {
+    out.failure_reason = "SDP size guard: ~" + std::to_string(est) +
+                         " constraints exceeds limit";
+    return out;
+  }
+
+  SosProgram prog(n);
+  const Polynomial one = Polynomial::constant(n, 1.0);
+
+  // Decision polynomials.
+  SosProgram::PolyVar b_var{}, lambda_var{};
+  const bool b_free = (fixed_barrier == nullptr);
+  const bool lambda_free = (fixed_lambda == nullptr);
+  if (b_free) {
+    b_var = prog.add_free_poly(monomials_up_to(n, d_b));
+    // Normalize B at the center of Theta: removes the degenerate B ~ 0
+    // solution that would otherwise satisfy all identities within numerical
+    // noise (certificates scale freely, so this loses no generality as long
+    // as B is positive at the chosen anchor -- guaranteed by condition (i)
+    // up to the measure-zero case B(x_c) = 0).
+    prog.add_point_constraint(b_var,
+                              system.init_set.sampling_box().center(), 1.0);
+  }
+  if (lambda_free)
+    lambda_var = prog.add_free_poly(monomials_up_to(n, d_lambda));
+
+  const auto sos_multiplier = [&](int identity_degree,
+                                  int constraint_degree) {
+    const int gd = std::max(0, (identity_degree - constraint_degree) / 2);
+    return prog.add_sos_poly(monomials_up_to(n, gd));
+  };
+
+  // ---- Identity (1): B - sum sigma_i g_i - s0 == 0 on coefficients.
+  {
+    std::vector<SosProgram::Term> terms;
+    Polynomial constant(n);
+    if (b_free)
+      terms.push_back({one, b_var, {}});
+    else
+      constant += *fixed_barrier;
+    for (const auto& gi : g) {
+      const auto sigma = sos_multiplier(d1, gi.degree());
+      terms.push_back({-gi, sigma, {}});
+    }
+    const auto s0 = prog.add_sos_poly(monomials_up_to(n, d1 / 2));
+    terms.push_back({-one, s0, {}});
+    prog.add_identity(constant, std::move(terms));
+  }
+
+  // ---- Identity (2): L_f B - lambda B - sum phi_j h_j - rho - s1 == 0.
+  {
+    std::vector<SosProgram::Term> terms;
+    Polynomial constant = Polynomial::constant(n, -config.rho);
+    if (b_free) {
+      // L_f B: one derivative term per state.
+      for (std::size_t i = 0; i < n; ++i)
+        terms.push_back({closed_field[i], b_var, i});
+      // -lambda * B (lambda is fixed here).
+      terms.push_back({-(*fixed_lambda), b_var, {}});
+    } else {
+      // B fixed: L_f B is a known polynomial; -lambda B has lambda free.
+      constant += lie_derivative(*fixed_barrier, closed_field);
+      if (lambda_free)
+        terms.push_back({-(*fixed_barrier), lambda_var, {}});
+      else
+        constant -= (*fixed_lambda) * (*fixed_barrier);
+    }
+    for (const auto& hj : h) {
+      const auto phi = sos_multiplier(d2, hj.degree());
+      terms.push_back({-hj, phi, {}});
+    }
+    const auto s1 = prog.add_sos_poly(monomials_up_to(n, d2 / 2));
+    terms.push_back({-one, s1, {}});
+    prog.add_identity(constant, std::move(terms));
+  }
+
+  // ---- Identity (3): -B - rho' - sum xi_k q_k - s2 == 0.
+  {
+    std::vector<SosProgram::Term> terms;
+    Polynomial constant = Polynomial::constant(n, -config.rho_prime);
+    if (b_free)
+      terms.push_back({-one, b_var, {}});
+    else
+      constant -= *fixed_barrier;
+    for (const auto& qk : q) {
+      const auto xi = sos_multiplier(d3, qk.degree());
+      terms.push_back({-qk, xi, {}});
+    }
+    const auto s2 = prog.add_sos_poly(monomials_up_to(n, d3 / 2));
+    terms.push_back({-one, s2, {}});
+    prog.add_identity(constant, std::move(terms));
+  }
+
+  const auto result =
+      prog.solve(config.sdp, config.identity_tol, config.gram_tol);
+  out.max_identity_residual = 0.0;
+  for (double r : result.identity_residuals)
+    out.max_identity_residual = std::max(out.max_identity_residual, r);
+  out.min_gram_eigenvalue = result.min_gram_eigenvalue;
+  if (!result.values.empty()) {
+    out.barrier = b_free ? result.value(b_var) : *fixed_barrier;
+    out.lambda = lambda_free ? result.value(lambda_var) : *fixed_lambda;
+  }
+  out.feasible = result.feasible;
+  if (!result.feasible) out.failure_reason = result.failure_reason;
+  return out;
+}
+
+/// Fast sampled gate on the *extracted* certificate: Theorem 1's conditions
+/// checked pointwise. The SOS identity plus PSD Gram already imply them up
+/// to numerical slack; this catches solutions where that slack is not small.
+bool quick_certificate_check(const Ccds& system,
+                             const std::vector<Polynomial>& closed_field,
+                             const Polynomial& barrier,
+                             const BarrierConfig& config, Rng& rng) {
+  const Polynomial lie = lie_derivative(barrier, closed_field);
+  double scale = 1e-9;
+  std::vector<Vec> domain_pts;
+  for (int i = 0; i < 2000; ++i) {
+    Vec x = system.domain.sample(rng);
+    scale = std::max(scale, std::fabs(barrier.evaluate(x)));
+    domain_pts.push_back(std::move(x));
+  }
+  const double tol = 1e-4 * scale;
+  for (int i = 0; i < 500; ++i) {
+    if (barrier.evaluate(system.init_set.sample(rng)) < -tol) return false;
+  }
+  for (int i = 0; i < 500; ++i) {
+    if (barrier.evaluate(system.unsafe_set.sample(rng)) >
+        -0.25 * config.rho_prime)
+      return false;
+  }
+  double band = 0.02 * scale;
+  for (int widen = 0; widen < 5; ++widen) {
+    std::size_t found = 0;
+    bool ok = true;
+    for (const auto& x : domain_pts) {
+      if (std::fabs(barrier.evaluate(x)) <= band) {
+        ++found;
+        if (lie.evaluate(x) <= 0.0) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (found > 0) return ok;
+    band *= 2.0;  // thin level set: widen until we see it
+  }
+  return true;  // level set does not intersect Psi: condition (iii) vacuous
+}
+
+Polynomial random_lambda(std::size_t n, LambdaStrategy strategy, int attempt,
+                         Rng& rng) {
+  switch (strategy) {
+    case LambdaStrategy::kZero:
+      return Polynomial(n);
+    case LambdaStrategy::kConstant: {
+      // A negative constant: on the zero level set the term vanishes, while
+      // inside {B > 0} it relaxes the Lie condition (L_f B >= lambda B + rho
+      // holds near equilibria only when lambda < 0).
+      const double c = (attempt == 0) ? -1.0 : rng.uniform(-2.5, -0.1);
+      return Polynomial::constant(n, c);
+    }
+    case LambdaStrategy::kLinear:
+    case LambdaStrategy::kAlternating: {
+      Polynomial l = Polynomial::constant(n, rng.uniform(-2.0, -0.2));
+      for (std::size_t i = 0; i < n; ++i)
+        l += Polynomial::variable(n, i) * rng.uniform(-0.3, 0.3);
+      return l;
+    }
+  }
+  return Polynomial(n);
+}
+
+}  // namespace
+
+namespace {
+
+/// Diagonal rescaling of a semialgebraic set: y-space member iff x = S y is
+/// an x-space member. The analytic distance (if any) is dropped; the
+/// barrier stage only needs membership and sampling.
+SemialgebraicSet scale_set(const SemialgebraicSet& set, const Vec& s) {
+  std::vector<Polynomial> ineqs;
+  ineqs.reserve(set.inequalities().size());
+  for (const auto& g : set.inequalities()) ineqs.push_back(g.scale_vars(s));
+  Vec lo = set.sampling_box().lo;
+  Vec hi = set.sampling_box().hi;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    lo[i] /= s[i];
+    hi[i] /= s[i];
+  }
+  return SemialgebraicSet(std::move(ineqs), Box(lo, hi));
+}
+
+}  // namespace
+
+BarrierResult synthesize_barrier_closed(
+    const Ccds& system_in, const std::vector<Polynomial>& closed_field_in,
+    const BarrierConfig& config) {
+  SCS_REQUIRE(closed_field_in.size() == system_in.num_states,
+              "synthesize_barrier_closed: field dimension mismatch");
+  BarrierResult result;
+  Stopwatch sw;
+  Rng rng(config.seed);
+
+  // ---- Rescale the problem to the unit box: x = S y with S = diag(s).
+  // Degree-8+ monomials on a box reaching |x_i| = 5 take values ~ 1e7, so
+  // coefficient-level SOS residual tolerances would not control pointwise
+  // error; on [-1,1]^n they do. ydot = S^{-1} f(S y).
+  const std::size_t n = system_in.num_states;
+  Vec s(n, 1.0);
+  {
+    const Box& box = system_in.domain.sampling_box();
+    for (std::size_t i = 0; i < n; ++i)
+      s[i] = std::max({std::fabs(box.lo[i]), std::fabs(box.hi[i]), 1e-9});
+  }
+  Ccds system = system_in;  // shallow copy; only the sets are rescaled
+  system.init_set = scale_set(system_in.init_set, s);
+  system.domain = scale_set(system_in.domain, s);
+  system.unsafe_set = scale_set(system_in.unsafe_set, s);
+  std::vector<Polynomial> closed_field;
+  closed_field.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    closed_field.push_back(closed_field_in[i].scale_vars(s) * (1.0 / s[i]));
+  Vec s_inv(n);
+  for (std::size_t i = 0; i < n; ++i) s_inv[i] = 1.0 / s[i];
+
+  for (int d_b : config.degree_schedule) {
+    SCS_REQUIRE(d_b >= 1, "synthesize_barrier: degrees must be >= 1");
+    const int attempts = (config.lambda_strategy == LambdaStrategy::kZero)
+                             ? 1
+                             : config.lambda_attempts;
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+      Polynomial lambda =
+          random_lambda(system.num_states, config.lambda_strategy, attempt,
+                        rng);
+      ++result.attempts;
+      ProgramOutcome outcome = solve_program(
+          system, closed_field, d_b, lambda.degree() < 0 ? 0 : lambda.degree(),
+          nullptr, &lambda, config);
+      result.max_identity_residual = outcome.max_identity_residual;
+      result.min_gram_eigenvalue = outcome.min_gram_eigenvalue;
+      result.failure_reason = outcome.failure_reason;
+
+      // Alternating BMI heuristic: bounce between the lambda-step (B fixed)
+      // and the B-step (lambda fixed), starting from the best iterate of the
+      // failed LMI solve.
+      if (!outcome.feasible &&
+          config.lambda_strategy == LambdaStrategy::kAlternating &&
+          !outcome.barrier.is_zero()) {
+        Polynomial b_cur = outcome.barrier;
+        for (int round = 0; round < config.bmi_rounds && !outcome.feasible;
+             ++round) {
+          // lambda-step: fix B, free lambda (degree 1).
+          ++result.attempts;
+          ProgramOutcome lam_step = solve_program(
+              system, closed_field, d_b, 1, &b_cur, nullptr, config);
+          if (lam_step.lambda.is_zero() && !lam_step.feasible) break;
+          lambda = lam_step.lambda;
+          if (lam_step.feasible) {
+            outcome = lam_step;
+            break;
+          }
+          // B-step: fix lambda, free B.
+          ++result.attempts;
+          ProgramOutcome b_step =
+              solve_program(system, closed_field, d_b, lambda.degree(),
+                            nullptr, &lambda, config);
+          result.max_identity_residual = b_step.max_identity_residual;
+          result.min_gram_eigenvalue = b_step.min_gram_eigenvalue;
+          if (b_step.barrier.is_zero()) break;
+          b_cur = b_step.barrier;
+          outcome = b_step;
+        }
+      }
+
+      if (outcome.feasible &&
+          !quick_certificate_check(system, closed_field, outcome.barrier,
+                                   config, rng)) {
+        outcome.feasible = false;
+        result.failure_reason =
+            "certificate failed the sampled Theorem-1 gate";
+      }
+      if (outcome.feasible) {
+        result.success = true;
+        // Map the certificate back to the original coordinates:
+        // B(x) = B_y(S^{-1} x).
+        result.barrier = outcome.barrier.scale_vars(s_inv);
+        result.lambda = outcome.lambda.scale_vars(s_inv);
+        result.degree = d_b;
+        result.strategy_used = config.lambda_strategy;
+        result.seconds = sw.seconds();
+        result.failure_reason.clear();
+        log_info("barrier: found certificate of degree ", d_b, " after ",
+                 result.attempts, " attempt(s), ", result.seconds, "s");
+        return result;
+      }
+    }
+  }
+  result.seconds = sw.seconds();
+  if (result.failure_reason.empty())
+    result.failure_reason = "no feasible certificate in the degree schedule";
+  return result;
+}
+
+BarrierResult synthesize_barrier(const Ccds& system,
+                                 const std::vector<Polynomial>& controller,
+                                 const BarrierConfig& config) {
+  return synthesize_barrier_closed(system, system.closed_loop(controller),
+                                   config);
+}
+
+}  // namespace scs

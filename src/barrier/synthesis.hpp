@@ -1,0 +1,77 @@
+// Barrier-certificate generation for the closed-loop system under the
+// synthesized polynomial controller (Section 4, program (12)).
+//
+// The three conditions of Theorem 1 are encoded with Putinar multipliers:
+//
+//   (1)  B - sum_i sigma_i g_i            is SOS          (B >= 0 on Theta)
+//   (2)  L_f B - lambda B - sum_j phi_j h_j - rho   is SOS (boundary push)
+//   (3) -B - rho' - sum_k xi_k q_k        is SOS          (B < 0 on X_u)
+//
+// lambda(x) makes (2) bilinear; per the paper we either fix lambda to a
+// (random) constant / linear polynomial -- an LMI -- or run an alternating
+// BMI heuristic (fix lambda, solve for B; fix B, solve for lambda) in place
+// of PENBMI.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "opt/sdp.hpp"
+#include "poly/polynomial.hpp"
+#include "systems/ccds.hpp"
+#include "util/rng.hpp"
+
+namespace scs {
+
+enum class LambdaStrategy {
+  kZero,         // lambda = 0
+  kConstant,     // lambda = random negative constant (LMI)
+  kLinear,       // lambda = random linear polynomial (LMI)
+  kAlternating,  // alternating BMI heuristic
+};
+
+std::string to_string(LambdaStrategy s);
+
+struct BarrierConfig {
+  std::vector<int> degree_schedule = {2, 4};  // d_B values to attempt
+  double rho = 1e-3;        // strict positivity margin in (2)
+  double rho_prime = 1e-3;  // strict negativity margin in (3)
+  LambdaStrategy lambda_strategy = LambdaStrategy::kConstant;
+  int lambda_attempts = 4;   // random lambda retries per degree
+  int bmi_rounds = 4;        // alternating rounds (kAlternating only)
+  std::uint64_t seed = 7;
+  SdpOptions sdp;
+  double identity_tol = 2e-5;
+  double gram_tol = 1e-6;
+  /// Guard: skip degree/dimension combinations whose SDP would exceed this
+  /// many equality constraints. The interior-point Schur solve is O(m^3)
+  /// per iteration, so m ~ 3000 is the practical single-core ceiling.
+  std::size_t max_sdp_constraints = 3000;
+};
+
+struct BarrierResult {
+  bool success = false;
+  Polynomial barrier;        // B(x)
+  Polynomial lambda;         // the lambda(x) used in (2)
+  int degree = 0;            // d_B
+  double seconds = 0.0;      // T_p: wall-clock of the verification stage
+  LambdaStrategy strategy_used = LambdaStrategy::kConstant;
+  int attempts = 0;          // SOS programs solved
+  std::string failure_reason;
+  double max_identity_residual = 0.0;
+  double min_gram_eigenvalue = 0.0;
+};
+
+/// Synthesize a barrier certificate for the closed-loop system
+/// f(x, p(x)). `controller` has one polynomial per control input.
+BarrierResult synthesize_barrier(const Ccds& system,
+                                 const std::vector<Polynomial>& controller,
+                                 const BarrierConfig& config);
+
+/// Same, for an already-closed polynomial vector field over the state vars.
+BarrierResult synthesize_barrier_closed(
+    const Ccds& system, const std::vector<Polynomial>& closed_field,
+    const BarrierConfig& config);
+
+}  // namespace scs

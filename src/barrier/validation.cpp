@@ -1,0 +1,105 @@
+#include "barrier/validation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "ode/trajectory.hpp"
+#include "poly/lie.hpp"
+#include "util/check.hpp"
+
+namespace scs {
+
+ValidationReport validate_barrier(const Ccds& system,
+                                  const std::vector<Polynomial>& controller,
+                                  const Polynomial& barrier,
+                                  const ValidationConfig& config, Rng& rng) {
+  SCS_REQUIRE(barrier.num_vars() == system.num_states,
+              "validate_barrier: barrier variable count mismatch");
+  ValidationReport report;
+  const auto closed = system.closed_loop(controller);
+  const Polynomial lie = lie_derivative(barrier, closed);
+
+  // Condition (i): B >= 0 on Theta.
+  double min_theta = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < config.samples_per_set; ++i) {
+    const Vec x = system.init_set.sample(rng);
+    min_theta = std::min(min_theta, barrier.evaluate(x));
+  }
+  report.min_b_on_theta = min_theta;
+
+  // Condition (ii): B < 0 on X_u.
+  double max_unsafe = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < config.samples_per_set; ++i) {
+    const Vec x = system.unsafe_set.sample(rng);
+    max_unsafe = std::max(max_unsafe, barrier.evaluate(x));
+  }
+  report.max_b_on_unsafe = max_unsafe;
+
+  // Condition (iii): L_f B > 0 on the zero level set of B within Psi.
+  // Sample Psi, keep points in a band |B| <= band * scale.
+  double scale = 0.0;
+  std::vector<Vec> domain_samples;
+  domain_samples.reserve(config.samples_per_set * 4);
+  for (std::size_t i = 0; i < config.samples_per_set * 4; ++i) {
+    Vec x = system.domain.sample(rng);
+    scale = std::max(scale, std::fabs(barrier.evaluate(x)));
+    domain_samples.push_back(std::move(x));
+  }
+  double band = config.boundary_band * std::max(scale, 1e-9);
+  double min_lie = std::numeric_limits<double>::infinity();
+  std::size_t found = 0;
+  for (int widen = 0; widen < 6 && found == 0; ++widen) {
+    for (const auto& x : domain_samples) {
+      if (std::fabs(barrier.evaluate(x)) <= band) {
+        min_lie = std::min(min_lie, lie.evaluate(x));
+        ++found;
+      }
+    }
+    if (found == 0) band *= 2.0;  // level set may be thin: widen the band
+  }
+  report.boundary_samples = found;
+  report.min_lie_on_boundary =
+      (found > 0) ? min_lie : std::numeric_limits<double>::quiet_NaN();
+
+  // Simulation spot checks.
+  const VectorField field = system.closed_loop_field(controller);
+  report.total_rollouts = config.simulation_rollouts;
+  for (int r = 0; r < config.simulation_rollouts; ++r) {
+    const Vec x0 = system.init_set.sample(rng);
+    SimulateOptions opts;
+    opts.dt = config.simulation_dt;
+    opts.max_steps = config.simulation_steps;
+    opts.record = false;
+    const auto unsafe = [&](const Vec& x) {
+      return system.unsafe_set.contains(x);
+    };
+    const Trajectory traj = simulate(field, x0, opts, unsafe);
+    if (traj.stop != StopReason::kPredicate &&
+        traj.stop != StopReason::kDiverged)
+      ++report.safe_rollouts;
+  }
+
+  // Tolerances are relative to the certificate's magnitude: the rigorous
+  // margin lives in the SOS identity's rho / rho' terms; this numerical
+  // cross-check must not fail on Gram-rounding noise.
+  const double tol = config.tolerance * std::max(1.0, scale);
+  const bool cond1 = report.min_b_on_theta >= -tol;
+  const bool cond2 = report.max_b_on_unsafe < tol;
+  const bool cond3 =
+      report.boundary_samples == 0 || report.min_lie_on_boundary > -tol;
+  const bool sims = report.safe_rollouts == report.total_rollouts;
+  report.passed = cond1 && cond2 && cond3 && sims;
+
+  std::ostringstream os;
+  os << "B|Theta min=" << report.min_b_on_theta
+     << ", B|Xu max=" << report.max_b_on_unsafe
+     << ", LieB|{B~0} min=" << report.min_lie_on_boundary << " ("
+     << report.boundary_samples << " pts), rollouts "
+     << report.safe_rollouts << "/" << report.total_rollouts;
+  report.detail = os.str();
+  return report;
+}
+
+}  // namespace scs

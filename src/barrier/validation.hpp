@@ -1,0 +1,46 @@
+// A-posteriori numerical validation of barrier certificates: dense sampling
+// of the three conditions of Theorem 1 plus closed-loop simulation spot
+// checks. The SOS identity residual check lives in SosProgram::solve; this
+// module independently cross-examines the *extracted* certificate.
+#pragma once
+
+#include <string>
+
+#include "poly/polynomial.hpp"
+#include "systems/ccds.hpp"
+#include "util/rng.hpp"
+
+namespace scs {
+
+struct ValidationConfig {
+  std::size_t samples_per_set = 4000;
+  /// Relative half-width of the B ~ 0 band for condition (iii), as a
+  /// fraction of max |B| over the domain samples.
+  double boundary_band = 0.05;
+  /// Relative slack (scaled by max |B| over the domain) granted to the
+  /// sampled condition checks; covers Gram-rounding noise of the SDP.
+  double tolerance = 2e-3;
+  /// Simulation spot checks: rollouts from Theta that must avoid X_u.
+  int simulation_rollouts = 20;
+  double simulation_dt = 0.01;
+  std::size_t simulation_steps = 3000;
+};
+
+struct ValidationReport {
+  bool passed = false;
+  double min_b_on_theta = 0.0;    // condition (i): should be >= -tol
+  double max_b_on_unsafe = 0.0;   // condition (ii): should be < 0
+  double min_lie_on_boundary = 0.0;  // condition (iii): should be > 0
+  std::size_t boundary_samples = 0;
+  int safe_rollouts = 0;
+  int total_rollouts = 0;
+  std::string detail;
+};
+
+/// Validate B for the closed-loop system under the polynomial controller.
+ValidationReport validate_barrier(const Ccds& system,
+                                  const std::vector<Polynomial>& controller,
+                                  const Polynomial& barrier,
+                                  const ValidationConfig& config, Rng& rng);
+
+}  // namespace scs

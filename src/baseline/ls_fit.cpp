@@ -1,0 +1,54 @@
+#include "baseline/ls_fit.hpp"
+
+#include <cmath>
+
+#include "math/cholesky.hpp"
+#include "poly/basis.hpp"
+#include "util/check.hpp"
+
+namespace scs {
+
+LsFitResult ls_polyfit(const std::vector<Vec>& points, const Vec& values,
+                       int degree) {
+  SCS_REQUIRE(!points.empty(), "ls_polyfit: no samples");
+  SCS_REQUIRE(points.size() == values.size(), "ls_polyfit: size mismatch");
+  SCS_REQUIRE(degree >= 0, "ls_polyfit: negative degree");
+  const std::size_t n = points.front().size();
+  const auto basis = monomials_up_to(n, degree);
+  const std::size_t v = basis.size();
+  SCS_REQUIRE(points.size() >= v,
+              "ls_polyfit: fewer samples than basis functions");
+
+  // Normal equations (the sample counts here dwarf the basis size, so the
+  // Gram matrix is well conditioned for the domains we fit on).
+  Mat g(v, v);
+  Vec rhs(v, 0.0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Vec phi = evaluate_basis(basis, points[i]);
+    for (std::size_t a = 0; a < v; ++a) {
+      rhs[a] += phi[a] * values[i];
+      for (std::size_t b = a; b < v; ++b) g(a, b) += phi[a] * phi[b];
+    }
+  }
+  for (std::size_t a = 0; a < v; ++a) {
+    g(a, a) += 1e-12;
+    for (std::size_t b = a + 1; b < v; ++b) g(b, a) = g(a, b);
+  }
+  Cholesky chol(g);
+  SCS_REQUIRE(chol.ok(), "ls_polyfit: singular normal equations");
+  const Vec c = chol.solve(rhs);
+
+  LsFitResult out;
+  out.poly = Polynomial::from_coefficients(basis, c);
+  out.degree = degree;
+  double sq = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double r = values[i] - out.poly.evaluate(points[i]);
+    out.max_error = std::max(out.max_error, std::fabs(r));
+    sq += r * r;
+  }
+  out.rmse = std::sqrt(sq / static_cast<double>(points.size()));
+  return out;
+}
+
+}  // namespace scs

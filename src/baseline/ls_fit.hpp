@@ -1,0 +1,23 @@
+// Least-squares polynomial approximation -- the baseline Section 3.2
+// contrasts the PAC method against: no error-rate quantification and no
+// principled template-degree selection.
+#pragma once
+
+#include <vector>
+
+#include "poly/polynomial.hpp"
+
+namespace scs {
+
+struct LsFitResult {
+  Polynomial poly;
+  double max_error = 0.0;  // max |residual| over the fitting samples
+  double rmse = 0.0;
+  int degree = 0;
+};
+
+/// Ordinary least squares fit of degree `degree` to (points, values).
+LsFitResult ls_polyfit(const std::vector<Vec>& points, const Vec& values,
+                       int degree);
+
+}  // namespace scs

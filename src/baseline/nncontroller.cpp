@@ -1,0 +1,234 @@
+#include "baseline/nncontroller.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/adam.hpp"
+#include "nn/mlp.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+#include "util/stopwatch.hpp"
+
+namespace scs {
+
+namespace {
+
+/// d f_i / d u_k of the open-loop field, evaluated at (x, u).
+Mat control_jacobian(const Ccds& system, const Vec& x, const Vec& u) {
+  const std::size_t n = system.num_states;
+  const std::size_t m = system.num_controls;
+  Mat jac(n, m);
+  const Vec z = concat(x, u);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t k = 0; k < m; ++k)
+      jac(i, k) = system.open_field[i].derivative(n + k).evaluate(z);
+  return jac;
+}
+
+struct Nets {
+  Mlp controller;
+  Mlp barrier;
+};
+
+/// One training step over fresh minibatches of the three condition losses.
+/// Returns the total loss (for monitoring).
+double train_step(const Ccds& system, const NnControllerConfig& cfg,
+                  Nets& nets, Adam& ctrl_opt, Adam& barrier_opt, Rng& rng) {
+  Vec ctrl_grad(nets.controller.parameter_count(), 0.0);
+  Vec barrier_grad(nets.barrier.parameter_count(), 0.0);
+  double loss = 0.0;
+  const double inv_b = 1.0 / static_cast<double>(cfg.batch_per_set);
+
+  // ---- Condition (i): B(x) >= margin on Theta.
+  for (std::size_t s = 0; s < cfg.batch_per_set; ++s) {
+    const Vec x = system.init_set.sample(rng);
+    Mlp::Workspace ws;
+    const double b = nets.barrier.forward(x, ws)[0];
+    const double violation = cfg.margin_init - b;
+    if (violation > 0.0) {
+      loss += violation * inv_b;
+      Vec dy(1, -inv_b);  // d(violation)/db = -1
+      nets.barrier.backward(ws, dy, barrier_grad);
+    }
+  }
+
+  // ---- Condition (ii): B(x) <= -margin on X_u.
+  for (std::size_t s = 0; s < cfg.batch_per_set; ++s) {
+    const Vec x = system.unsafe_set.sample(rng);
+    Mlp::Workspace ws;
+    const double b = nets.barrier.forward(x, ws)[0];
+    const double violation = b + cfg.margin_unsafe;
+    if (violation > 0.0) {
+      loss += violation * inv_b;
+      Vec dy(1, inv_b);
+      nets.barrier.backward(ws, dy, barrier_grad);
+    }
+  }
+
+  // ---- Condition (iii): dB/dt >= margin near the zero level set,
+  // with dB/dt ~ (B(x + dt f(x,u)) - B(x)) / dt and a Gaussian window
+  // w = exp(-(B/band)^2) concentrating the constraint near {B ~ 0}.
+  for (std::size_t s = 0; s < cfg.batch_per_set; ++s) {
+    const Vec x = system.domain.sample(rng);
+    Mlp::Workspace ws_u;
+    Vec u = nets.controller.forward(x, ws_u);
+    Vec u_phys = u;
+    for (auto& v : u_phys) v *= system.control_bound;
+
+    const Vec fx = system.eval_open(x, u_phys);
+    Vec x2 = x;
+    x2.axpy(cfg.lie_dt, fx);
+
+    Mlp::Workspace ws_b1, ws_b2;
+    const double b1 = nets.barrier.forward(x, ws_b1)[0];
+    const double b2 = nets.barrier.forward(x2, ws_b2)[0];
+    const double dbdt = (b2 - b1) / cfg.lie_dt;
+
+    const double window = std::exp(-(b1 / cfg.lie_band) * (b1 / cfg.lie_band));
+    const double violation = cfg.margin_lie - dbdt;
+    if (violation > 0.0 && window > 1e-3) {
+      const double w = window * inv_b;
+      loss += violation * w;
+      // d(violation)/d(b2) = -1/dt ; d/d(b1) = +1/dt (window treated as
+      // a constant weight -- a standard stop-gradient on the gate).
+      Vec dy2(1, -w / cfg.lie_dt);
+      const Vec db2_dx2 = nets.barrier.backward(ws_b2, dy2, barrier_grad);
+      Vec dy1(1, w / cfg.lie_dt);
+      nets.barrier.backward(ws_b1, dy1, barrier_grad);
+      // Controller chain: x2 depends on u through dt * f(x, u).
+      const Mat jac = control_jacobian(system, x, u_phys);
+      Vec du(u.size(), 0.0);
+      for (std::size_t k = 0; k < u.size(); ++k) {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < x.size(); ++i)
+          acc += db2_dx2[i] * cfg.lie_dt * jac(i, k);
+        du[k] = acc * system.control_bound;
+      }
+      nets.controller.backward(ws_u, du, ctrl_grad);
+    }
+  }
+
+  Vec cp = nets.controller.parameters();
+  ctrl_opt.step(cp, ctrl_grad);
+  nets.controller.set_parameters(cp);
+  Vec bp = nets.barrier.parameters();
+  barrier_opt.step(bp, barrier_grad);
+  nets.barrier.set_parameters(bp);
+  return loss;
+}
+
+}  // namespace
+
+NnControllerResult run_nncontroller(const Ccds& system,
+                                    const NnControllerConfig& config) {
+  NnControllerResult result;
+  Stopwatch total;
+  Rng rng(config.seed);
+
+  // ---- Stage 1: joint supervised training of controller + barrier.
+  Stopwatch train_sw;
+  Nets nets{
+      Mlp(system.num_states, config.controller_hidden, system.num_controls,
+          Activation::kRelu, Activation::kTanh, rng),
+      Mlp(system.num_states, config.barrier_hidden, 1, Activation::kTanh,
+          Activation::kIdentity, rng),
+  };
+  result.barrier_structure = nets.barrier.structure_string();
+  Adam ctrl_opt(nets.controller.parameter_count(), {.lr = config.lr});
+  Adam barrier_opt(nets.barrier.parameter_count(), {.lr = config.lr});
+
+  double recent_loss = 0.0;
+  for (int it = 0; it < config.train_iterations; ++it) {
+    const double l =
+        train_step(system, config, nets, ctrl_opt, barrier_opt, rng);
+    recent_loss = 0.95 * recent_loss + 0.05 * l;
+    if ((it + 1) % 1000 == 0)
+      log_debug("nncontroller: iter ", it + 1, " smoothed loss ", recent_loss);
+  }
+  result.train_seconds = train_sw.seconds();
+
+  // ---- Stage 2: exhaustive grid verification over Psi.
+  Stopwatch verify_sw;
+  const Box& box = system.domain.sampling_box();
+  const std::size_t n = box.dim();
+  // Grid resolution from the requested cell size.
+  std::uint64_t total_points = 1;
+  std::vector<std::size_t> per_dim(n);
+  bool too_large = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double width = box.hi[i] - box.lo[i];
+    per_dim[i] = std::max<std::size_t>(
+        2, static_cast<std::size_t>(std::ceil(width / config.grid_cell)) + 1);
+    if (total_points > (std::uint64_t{1} << 62) / per_dim[i]) {
+      too_large = true;
+      break;
+    }
+    total_points *= per_dim[i];
+  }
+  result.grid_points = too_large ? 0 : total_points;
+
+  // Cost model: ~2 network evaluations per grid point. Refuse grids whose
+  // projected cost exceeds the budget -- this is the "x" regime of Table 2.
+  const double est_seconds = static_cast<double>(total_points) * 2.5e-6;
+  if (too_large || est_seconds > config.verify_budget_seconds) {
+    result.verified = false;
+    result.verify_seconds = verify_sw.seconds();
+    result.total_seconds = total.seconds();
+    result.reason = "verification grid of " +
+                    std::to_string(total_points) +
+                    " points exceeds the time budget (exponential in n)";
+    return result;
+  }
+
+  // Walk the grid with an odometer.
+  std::vector<std::size_t> idx(n, 0);
+  bool ok = true;
+  std::string violation;
+  for (std::uint64_t count = 0; count < total_points && ok; ++count) {
+    Vec x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double t = static_cast<double>(idx[i]) /
+                       static_cast<double>(per_dim[i] - 1);
+      x[i] = box.lo[i] + t * (box.hi[i] - box.lo[i]);
+    }
+    const double b = nets.barrier.forward(x)[0];
+    if (system.init_set.contains(x) && b < config.verify_margin) {
+      ok = false;
+      violation = "B < 0 inside Theta";
+    } else if (system.unsafe_set.contains(x) && b > -config.verify_margin) {
+      ok = false;
+      violation = "B >= 0 inside X_u";
+    } else if (std::fabs(b) <= 0.5 * config.margin_lie + 0.02) {
+      // Near the level set: check the discrete Lie condition.
+      Vec u = nets.controller.forward(x);
+      for (auto& v : u) v *= system.control_bound;
+      const Vec fx = system.eval_open(x, u);
+      Vec x2 = x;
+      x2.axpy(config.lie_dt, fx);
+      const double dbdt = (nets.barrier.forward(x2)[0] - b) / config.lie_dt;
+      if (dbdt <= config.verify_margin) {
+        ok = false;
+        violation = "Lie condition fails on the level set";
+      }
+    }
+    if (verify_sw.seconds() > config.verify_budget_seconds) {
+      result.verify_seconds = verify_sw.seconds();
+      result.total_seconds = total.seconds();
+      result.reason = "verification timed out";
+      return result;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (++idx[i] < per_dim[i]) break;
+      idx[i] = 0;
+    }
+  }
+
+  result.verified = ok;
+  result.success = ok;
+  result.verify_seconds = verify_sw.seconds();
+  result.total_seconds = total.seconds();
+  if (!ok) result.reason = "counterexample on verification grid: " + violation;
+  return result;
+}
+
+}  // namespace scs

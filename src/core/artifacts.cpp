@@ -1,0 +1,96 @@
+#include "core/artifacts.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "poly/parse.hpp"
+#include "util/check.hpp"
+
+namespace scs {
+
+SynthesisArtifacts artifacts_from(const SynthesisResult& result,
+                                  std::size_t num_states) {
+  SCS_REQUIRE(!result.controller.empty(),
+              "artifacts_from: result has no controller");
+  SynthesisArtifacts out;
+  out.benchmark = result.benchmark;
+  out.num_states = num_states;
+  out.controller = result.controller;
+  out.barrier = result.barrier.barrier;
+  out.lambda = result.barrier.lambda;
+  out.barrier_degree = result.barrier.degree;
+  out.pac = result.pac.model;
+  return out;
+}
+
+void save_artifacts(const SynthesisArtifacts& a, std::ostream& os) {
+  SCS_REQUIRE(a.num_states > 0, "save_artifacts: missing state count");
+  os << "scs-artifacts 1\n";
+  os << "benchmark " << (a.benchmark.empty() ? "unnamed" : a.benchmark)
+     << "\n";
+  os << "states " << a.num_states << "\n";
+  os << "controller " << a.controller.size() << "\n";
+  for (const auto& p : a.controller) os << p.to_string(17) << "\n";
+  os << "barrier-degree " << a.barrier_degree << "\n";
+  os << "barrier " << a.barrier.to_string(17) << "\n";
+  os << "lambda " << a.lambda.to_string(17) << "\n";
+  os << "pac " << a.pac.degree << ' ' << a.pac.error << ' ' << a.pac.eps
+     << ' ' << a.pac.eta << ' ' << a.pac.samples << "\n";
+}
+
+SynthesisArtifacts load_artifacts(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  is >> magic >> version;
+  SCS_REQUIRE(magic == "scs-artifacts" && version == 1,
+              "load_artifacts: bad header");
+  SynthesisArtifacts a;
+  std::string token;
+  is >> token >> a.benchmark;
+  SCS_REQUIRE(token == "benchmark", "load_artifacts: expected 'benchmark'");
+  is >> token >> a.num_states;
+  SCS_REQUIRE(token == "states" && a.num_states > 0,
+              "load_artifacts: bad state count");
+  std::size_t m = 0;
+  is >> token >> m;
+  SCS_REQUIRE(token == "controller" && m > 0,
+              "load_artifacts: bad controller count");
+  std::string line;
+  std::getline(is, line);  // consume end of header line
+  for (std::size_t k = 0; k < m; ++k) {
+    std::getline(is, line);
+    SCS_REQUIRE(static_cast<bool>(is), "load_artifacts: truncated controller");
+    a.controller.push_back(parse_polynomial(line, a.num_states));
+  }
+  is >> token >> a.barrier_degree;
+  SCS_REQUIRE(token == "barrier-degree", "load_artifacts: expected degree");
+  is >> token;
+  SCS_REQUIRE(token == "barrier", "load_artifacts: expected 'barrier'");
+  std::getline(is, line);
+  a.barrier = parse_polynomial(line, a.num_states);
+  is >> token;
+  SCS_REQUIRE(token == "lambda", "load_artifacts: expected 'lambda'");
+  std::getline(is, line);
+  a.lambda = parse_polynomial(line, a.num_states);
+  is >> token >> a.pac.degree >> a.pac.error >> a.pac.eps >> a.pac.eta >>
+      a.pac.samples;
+  SCS_REQUIRE(token == "pac" && static_cast<bool>(is),
+              "load_artifacts: truncated PAC metadata");
+  return a;
+}
+
+void save_artifacts_file(const SynthesisArtifacts& artifacts,
+                         const std::string& path) {
+  std::ofstream os(path);
+  SCS_REQUIRE(os.good(), "save_artifacts_file: cannot open " + path);
+  save_artifacts(artifacts, os);
+  SCS_REQUIRE(os.good(), "save_artifacts_file: write failed for " + path);
+}
+
+SynthesisArtifacts load_artifacts_file(const std::string& path) {
+  std::ifstream is(path);
+  SCS_REQUIRE(is.good(), "load_artifacts_file: cannot open " + path);
+  return load_artifacts(is);
+}
+
+}  // namespace scs

@@ -1,0 +1,45 @@
+// Persistence for synthesis artifacts: the verified polynomial controller
+// p(x), the barrier certificate B(x), and the PAC metadata, in a plain text
+// format that round-trips through the polynomial parser.
+//
+// Format:
+//   scs-artifacts 1
+//   benchmark <name>
+//   states <n>
+//   controller <m>
+//   <one polynomial per line>
+//   barrier-degree <d_B>
+//   barrier <one polynomial line>
+//   lambda <one polynomial line>
+//   pac <degree> <error> <eps> <eta> <samples>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/pipeline.hpp"
+
+namespace scs {
+
+/// The persistent subset of a SynthesisResult.
+struct SynthesisArtifacts {
+  std::string benchmark;
+  std::size_t num_states = 0;
+  std::vector<Polynomial> controller;
+  Polynomial barrier;
+  Polynomial lambda;
+  int barrier_degree = 0;
+  PacModel pac;
+};
+
+SynthesisArtifacts artifacts_from(const SynthesisResult& result,
+                                  std::size_t num_states);
+
+void save_artifacts(const SynthesisArtifacts& artifacts, std::ostream& os);
+SynthesisArtifacts load_artifacts(std::istream& is);
+
+void save_artifacts_file(const SynthesisArtifacts& artifacts,
+                         const std::string& path);
+SynthesisArtifacts load_artifacts_file(const std::string& path);
+
+}  // namespace scs

@@ -1,0 +1,155 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+#include "util/stopwatch.hpp"
+
+namespace scs {
+
+namespace {
+
+/// Apply fast-mode shrinkage for unit tests.
+void apply_fast_mode(PipelineConfig& cfg, int& episodes, PacSettings& pac) {
+  episodes = std::min(episodes, 20);
+  cfg.ddpg.warmup_steps = std::min<std::size_t>(cfg.ddpg.warmup_steps, 200);
+  cfg.env.max_steps = std::min<std::size_t>(cfg.env.max_steps, 80);
+  if (cfg.pac_fit.max_samples == 0) cfg.pac_fit.max_samples = 2000;
+  cfg.eval_episodes = std::min(cfg.eval_episodes, 5);
+  cfg.validation.samples_per_set =
+      std::min<std::size_t>(cfg.validation.samples_per_set, 500);
+  cfg.validation.simulation_rollouts =
+      std::min(cfg.validation.simulation_rollouts, 5);
+  cfg.validation.simulation_steps =
+      std::min<std::size_t>(cfg.validation.simulation_steps, 500);
+  pac.max_degree = std::min(pac.max_degree, 3);
+}
+
+SynthesisResult run_stages_2_to_4(const Benchmark& benchmark,
+                                  const ControlLaw& law,
+                                  PipelineConfig config,
+                                  SynthesisResult result) {
+  Rng rng(config.seed + 1000);
+  const Ccds& sys = benchmark.ccds;
+  PacSettings pac_settings = benchmark.pac;
+  if (config.fast_mode) {
+    int dummy_episodes = 0;
+    apply_fast_mode(config, dummy_episodes, pac_settings);
+  }
+
+  // ---- Stage 2: PAC polynomial approximation (Algorithm 1).
+  // The approximation target is the *normalized* DNN output in [-1, 1]^m --
+  // exactly what the paper's tanh-output actors emit -- so the tabulated
+  // errors e are comparable to Table 1/2 regardless of actuator scale. The
+  // physical controller is bound * p(x).
+  Stopwatch pac_sw;
+  const double bound = sys.control_bound;
+  const auto vec_fn = [&law, bound](const Vec& x) {
+    Vec u = law(x);
+    u /= bound;
+    return u;
+  };
+  PacVectorResult pac_vec = pac_approximate_vector(
+      vec_fn, sys.num_controls, sys.domain, pac_settings, rng,
+      config.pac_fit);
+  result.pac = pac_vec.per_channel.front();
+  for (const auto& m : pac_vec.models)
+    result.controller.push_back(m.poly * bound);
+  result.pac_seconds = pac_sw.seconds();
+  if (!pac_vec.success) {
+    // Algorithm 1 failed to reach tau; proceed with the best model anyway
+    // (verification decides), but record the stage as degraded.
+    log_info("pipeline: PAC stage did not reach tau; continuing with best fit");
+  }
+
+  // ---- Stage 3: barrier-certificate generation. The primary candidate is
+  // the PAC-selected surrogate; if the SOS stage rejects it, alternate
+  // degrees from the Algorithm-1 sweep are tried (lower-degree surrogates
+  // both shrink the SOS program and often smooth the closed loop -- the
+  // "broader possibilities for BC selection" of Section 5).
+  Stopwatch barrier_sw;
+  BarrierConfig barrier_cfg = config.barrier;
+  if (barrier_cfg.degree_schedule.empty())
+    barrier_cfg.degree_schedule = benchmark.barrier_degrees;
+  barrier_cfg.seed = config.seed + 2000;
+  result.barrier = synthesize_barrier(sys, result.controller, barrier_cfg);
+  if (!result.barrier.success && sys.num_controls == 1) {
+    for (auto it = result.pac.per_degree.rbegin();
+         it != result.pac.per_degree.rend() && !result.barrier.success;
+         ++it) {
+      if (it->degree == result.pac.model.degree) continue;  // already tried
+      const std::vector<Polynomial> candidate = {it->poly * bound};
+      BarrierResult retry =
+          synthesize_barrier(sys, candidate, barrier_cfg);
+      if (retry.success) {
+        log_info("pipeline: degree-", it->degree,
+                 " surrogate verified after the primary failed");
+        result.controller = candidate;
+        result.pac.model = *it;
+        result.barrier = std::move(retry);
+      }
+    }
+  }
+  result.barrier_seconds = barrier_sw.seconds();
+  if (!result.barrier.success) {
+    result.failure_stage = "barrier";
+    return result;
+  }
+
+  // ---- Stage 4: independent validation.
+  Rng vrng(config.seed + 3000);
+  result.validation = validate_barrier(sys, result.controller,
+                                       result.barrier.barrier,
+                                       config.validation, vrng);
+  if (!result.validation.passed) {
+    result.failure_stage = "validation";
+    return result;
+  }
+  result.success = true;
+  return result;
+}
+
+}  // namespace
+
+SynthesisResult synthesize(const Benchmark& benchmark,
+                           const PipelineConfig& config) {
+  SynthesisResult result;
+  result.benchmark = benchmark.name;
+  const Ccds& sys = benchmark.ccds;
+
+  PipelineConfig cfg = config;
+  PacSettings pac_settings = benchmark.pac;
+  int episodes =
+      (cfg.rl_episodes >= 0) ? cfg.rl_episodes : benchmark.rl.episodes;
+  cfg.env.dt = benchmark.rl.dt;
+  cfg.env.max_steps = benchmark.rl.steps_per_episode;
+  cfg.ddpg.actor_hidden = benchmark.hidden_layers;
+  if (cfg.fast_mode) apply_fast_mode(cfg, episodes, pac_settings);
+
+  // ---- Stage 1: DDPG training of the auxiliary DNN controller.
+  Stopwatch rl_sw;
+  Rng rng(cfg.seed);
+  ControlEnv env(sys, cfg.env);
+  DdpgAgent agent(sys.num_states, sys.num_controls, cfg.ddpg, rng);
+  result.dnn_structure = agent.actor().structure_string();
+  agent.train(env, episodes, rng);
+  result.rl_eval = agent.evaluate(env, cfg.eval_episodes, rng);
+  result.rl_seconds = rl_sw.seconds();
+  log_info("pipeline[", benchmark.name, "]: RL done in ", result.rl_seconds,
+           "s, eval safety rate ", result.rl_eval.safety_rate);
+
+  return run_stages_2_to_4(benchmark, agent.control_law(sys.control_bound),
+                           cfg, std::move(result));
+}
+
+SynthesisResult synthesize_from_law(const Benchmark& benchmark,
+                                    const ControlLaw& law,
+                                    const PipelineConfig& config) {
+  SynthesisResult result;
+  result.benchmark = benchmark.name;
+  result.dnn_structure = "(external law)";
+  return run_stages_2_to_4(benchmark, law, config, std::move(result));
+}
+
+}  // namespace scs

@@ -1,0 +1,80 @@
+// The paper's end-to-end contribution: synthesize a *verified* polynomial
+// controller for a CCDS by
+//   (1) training a DNN controller with DDPG           (Section 3.1),
+//   (2) PAC-approximating it with a low-degree polynomial via scenario
+//       optimization / Algorithm 1                    (Section 3.2),
+//   (3) generating a barrier certificate for the closed loop via SOS
+//       relaxation                                     (Section 4),
+//   (4) independently validating the certificate numerically.
+//
+// This is the library's primary public entry point.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "barrier/synthesis.hpp"
+#include "barrier/validation.hpp"
+#include "pac/pac_fit.hpp"
+#include "rl/ddpg.hpp"
+#include "systems/benchmarks.hpp"
+
+namespace scs {
+
+struct PipelineConfig {
+  std::uint64_t seed = 1;
+
+  // Stage 1: RL. Episode budgets default to the benchmark's RlBudget;
+  // override with >= 0. Network sizes come from the benchmark definition.
+  DdpgConfig ddpg;
+  EnvConfig env;
+  int rl_episodes = -1;
+  int eval_episodes = 25;
+
+  // Stage 2: PAC approximation (settings come from the benchmark).
+  PacFitOptions pac_fit;
+
+  // Stage 3: barrier certificate.
+  BarrierConfig barrier;
+
+  // Stage 4: validation.
+  ValidationConfig validation;
+
+  /// Shrink every budget for unit tests (small K, few episodes).
+  bool fast_mode = false;
+};
+
+struct SynthesisResult {
+  std::string benchmark;
+  bool success = false;
+  std::string failure_stage;  // "rl" | "pac" | "barrier" | "validation"
+
+  // Stage 1.
+  std::string dnn_structure;
+  EvalResult rl_eval;
+  double rl_seconds = 0.0;
+
+  // Stage 2.
+  PacResult pac;
+  double pac_seconds = 0.0;
+  std::vector<Polynomial> controller;  // the synthesized p(x) per channel
+
+  // Stage 3.
+  BarrierResult barrier;
+  double barrier_seconds = 0.0;  // T_p
+
+  // Stage 4.
+  ValidationReport validation;
+};
+
+/// Run the full pipeline on one benchmark.
+SynthesisResult synthesize(const Benchmark& benchmark,
+                           const PipelineConfig& config = {});
+
+/// Stages 2+3 only, with a caller-provided control law standing in for the
+/// trained DNN (used by tests and ablations to decouple stages).
+SynthesisResult synthesize_from_law(const Benchmark& benchmark,
+                                    const ControlLaw& law,
+                                    const PipelineConfig& config = {});
+
+}  // namespace scs

@@ -1,0 +1,87 @@
+#include "core/report.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace scs {
+
+namespace {
+std::string fmt_double(double v, int precision) {
+  std::ostringstream os;
+  os << std::setprecision(precision) << v;
+  return os.str();
+}
+}  // namespace
+
+std::string format_table1(const PacResult& pac, double tau) {
+  std::ostringstream os;
+  os << std::left << std::setw(4) << "d" << std::setw(10) << "eta"
+     << std::setw(10) << "eps" << std::setw(10) << "K" << std::setw(12) << "e"
+     << std::setw(12) << "delta_e" << std::setw(8) << "tau" << '\n';
+  // One row per degree: the last attempt at that degree (converged or final).
+  int last_degree = 0;
+  const PacTraceRow* row_for_degree = nullptr;
+  const auto flush = [&]() {
+    if (row_for_degree == nullptr) return;
+    const PacTraceRow& r = *row_for_degree;
+    os << std::left << std::setw(4) << r.degree << std::setw(10) << r.eta
+       << std::setw(10) << r.eps << std::setw(10) << r.samples_used
+       << std::setw(12) << fmt_double(r.error, 6) << std::setw(12)
+       << fmt_double(r.delta_e, 2) << std::setw(8) << tau << '\n';
+  };
+  for (const auto& r : pac.trace) {
+    if (r.degree != last_degree) {
+      flush();
+      last_degree = r.degree;
+    }
+    row_for_degree = &r;
+  }
+  flush();
+  return os.str();
+}
+
+std::string table2_header() {
+  std::ostringstream os;
+  os << std::left << std::setw(7) << "Bench" << std::setw(5) << "n_x"
+     << std::setw(5) << "d_f" << std::setw(17) << "DNN" << std::setw(10)
+     << "eps" << std::setw(8) << "eta" << std::setw(9) << "K" << std::setw(11)
+     << "e" << std::setw(5) << "d_p" << std::setw(5) << "d_B" << std::setw(10)
+     << "T_p(s)" << std::setw(11) << "BC Struc." << std::setw(10) << "T_n(s)";
+  return os.str();
+}
+
+std::string table2_row(const Benchmark& benchmark,
+                       const SynthesisResult& result,
+                       const NnControllerResult* baseline) {
+  std::ostringstream os;
+  os << std::left << std::setw(7) << benchmark.name << std::setw(5)
+     << benchmark.ccds.num_states << std::setw(5)
+     << benchmark.ccds.field_degree() << std::setw(17) << result.dnn_structure;
+  if (result.success || !result.controller.empty()) {
+    const PacModel& m = result.pac.model;
+    os << std::setw(10) << fmt_double(m.eps, 3) << std::setw(8) << m.eta
+       << std::setw(9) << m.samples << std::setw(11) << fmt_double(m.error, 4)
+       << std::setw(5) << m.degree;
+    if (result.barrier.success) {
+      os << std::setw(5) << result.barrier.degree << std::setw(10)
+         << fmt_double(result.barrier.seconds, 4);
+    } else {
+      os << std::setw(5) << "x" << std::setw(10) << "x";
+    }
+  } else {
+    os << std::setw(10) << "x" << std::setw(8) << "x" << std::setw(9) << "x"
+       << std::setw(11) << "x" << std::setw(5) << "x" << std::setw(5) << "x"
+       << std::setw(10) << "x";
+  }
+  if (baseline == nullptr) {
+    os << std::setw(11) << "-" << std::setw(10) << "-";
+  } else if (baseline->verified) {
+    os << std::setw(11) << baseline->barrier_structure << std::setw(10)
+       << fmt_double(baseline->verify_seconds, 4);
+  } else {
+    os << std::setw(11) << "x" << std::setw(10) << "x";
+  }
+  return os.str();
+}
+
+}  // namespace scs

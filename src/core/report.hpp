@@ -1,0 +1,25 @@
+// Plain-text table formatting matching the layout of the paper's Table 1
+// (Algorithm 1 trace) and Table 2 (benchmark evaluation + baseline).
+#pragma once
+
+#include <string>
+
+#include "baseline/nncontroller.hpp"
+#include "core/pipeline.hpp"
+
+namespace scs {
+
+/// Table 1: one row per degree attempted by Algorithm 1 (the converged
+/// attempt at that degree), columns (d, eta, eps, K, e, delta_e, tau).
+std::string format_table1(const PacResult& pac, double tau);
+
+/// Table 2 header (fixed-width columns).
+std::string table2_header();
+
+/// One Table 2 row: benchmark data, the Poly.controller pipeline outcome,
+/// and the nncontroller baseline outcome (nullptr = not run).
+std::string table2_row(const Benchmark& benchmark,
+                       const SynthesisResult& result,
+                       const NnControllerResult* baseline);
+
+}  // namespace scs

@@ -1,0 +1,90 @@
+#include "math/eigen_sym.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace scs {
+
+EigenSym eigen_sym(const Mat& a_in, int max_sweeps, double tol) {
+  SCS_REQUIRE(a_in.rows() == a_in.cols(), "eigen_sym: matrix must be square");
+  const std::size_t n = a_in.rows();
+  Mat a = a_in;
+  a.symmetrize();
+  Mat v = Mat::identity(n);
+
+  // Scale-aware stopping threshold.
+  const double scale = std::max(a.max_abs(), 1e-300);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) off += a(i, j) * a(i, j);
+    if (std::sqrt(off) <= tol * scale * n) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::fabs(apq) <= tol * scale * 1e-3) continue;
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        // Classical Jacobi rotation.
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0)
+                             ? 1.0 / (theta + std::sqrt(1.0 + theta * theta))
+                             : 1.0 / (theta - std::sqrt(1.0 + theta * theta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+        // Update A = J^T A J.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Gather and sort eigenpairs ascending.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&a](std::size_t i, std::size_t j) { return a(i, i) < a(j, j); });
+
+  EigenSym out;
+  out.values = Vec(n);
+  out.vectors = Mat(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    out.values[k] = a(order[k], order[k]);
+    for (std::size_t i = 0; i < n; ++i) out.vectors(i, k) = v(i, order[k]);
+  }
+  return out;
+}
+
+double min_eigenvalue(const Mat& a) {
+  if (a.rows() == 0) return 0.0;
+  return eigen_sym(a).values[0];
+}
+
+double max_eigenvalue(const Mat& a) {
+  if (a.rows() == 0) return 0.0;
+  const EigenSym e = eigen_sym(a);
+  return e.values[e.values.size() - 1];
+}
+
+}  // namespace scs

@@ -1,0 +1,27 @@
+// Symmetric eigen-decomposition via the cyclic Jacobi method.
+//
+// Gram-matrix blocks in this project are at most a few hundred rows, where
+// Jacobi is robust, simple, and fast enough. Used for PSD margin reporting,
+// step-length safeguards in the SDP solver, and certificate validation.
+#pragma once
+
+#include "math/mat.hpp"
+#include "math/vec.hpp"
+
+namespace scs {
+
+struct EigenSym {
+  Vec values;    // ascending
+  Mat vectors;   // column k is the eigenvector for values[k]
+};
+
+/// Full eigen-decomposition of a symmetric matrix (input is symmetrized).
+EigenSym eigen_sym(const Mat& a, int max_sweeps = 64, double tol = 1e-12);
+
+/// Smallest eigenvalue of a symmetric matrix.
+double min_eigenvalue(const Mat& a);
+
+/// Largest eigenvalue of a symmetric matrix.
+double max_eigenvalue(const Mat& a);
+
+}  // namespace scs

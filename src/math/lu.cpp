@@ -1,0 +1,95 @@
+#include "math/lu.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace scs {
+
+Lu::Lu(const Mat& a, double pivot_tol) : lu_(a), perm_(a.rows()) {
+  SCS_REQUIRE(a.rows() == a.cols(), "Lu: matrix must be square");
+  const std::size_t n = a.rows();
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: find the largest |entry| in column k at/below row k.
+    std::size_t piv = k;
+    double best = std::fabs(lu_(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::fabs(lu_(i, k));
+      if (v > best) {
+        best = v;
+        piv = i;
+      }
+    }
+    if (best <= pivot_tol) {
+      singular_ = true;
+      return;
+    }
+    if (piv != k) {
+      for (std::size_t j = 0; j < n; ++j)
+        std::swap(lu_(piv, j), lu_(k, j));
+      std::swap(perm_[piv], perm_[k]);
+      perm_sign_ = -perm_sign_;
+    }
+    const double inv_pivot = 1.0 / lu_(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double m = lu_(i, k) * inv_pivot;
+      lu_(i, k) = m;
+      if (m == 0.0) continue;
+      const double* row_k = lu_.row_ptr(k);
+      double* row_i = lu_.row_ptr(i);
+      for (std::size_t j = k + 1; j < n; ++j) row_i[j] -= m * row_k[j];
+    }
+  }
+}
+
+Vec Lu::solve(const Vec& b) const {
+  SCS_REQUIRE(!singular_, "Lu::solve: matrix is singular");
+  SCS_REQUIRE(b.size() == lu_.rows(), "Lu::solve: size mismatch");
+  const std::size_t n = lu_.rows();
+  Vec x(n);
+  // Forward substitution with permutation (L has unit diagonal).
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[perm_[i]];
+    const double* row = lu_.row_ptr(i);
+    for (std::size_t j = 0; j < i; ++j) acc -= row[j] * x[j];
+    x[i] = acc;
+  }
+  // Back substitution with U.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = x[ii];
+    const double* row = lu_.row_ptr(ii);
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= row[j] * x[j];
+    x[ii] = acc / row[ii];
+  }
+  return x;
+}
+
+Mat Lu::solve(const Mat& b) const {
+  SCS_REQUIRE(b.rows() == lu_.rows(), "Lu::solve: shape mismatch");
+  Mat out(b.rows(), b.cols());
+  for (std::size_t j = 0; j < b.cols(); ++j) out.set_col(j, solve(b.col(j)));
+  return out;
+}
+
+double Lu::determinant() const {
+  if (singular_) return 0.0;
+  double det = perm_sign_;
+  for (std::size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+std::optional<Vec> solve_linear(const Mat& a, const Vec& b) {
+  Lu lu(a);
+  if (lu.singular()) return std::nullopt;
+  return lu.solve(b);
+}
+
+Mat inverse(const Mat& a) {
+  Lu lu(a);
+  SCS_REQUIRE(!lu.singular(), "inverse: matrix is singular");
+  return lu.solve(Mat::identity(a.rows()));
+}
+
+}  // namespace scs

@@ -1,0 +1,41 @@
+// LU factorization with partial pivoting, and linear solves built on it.
+#pragma once
+
+#include <optional>
+
+#include "math/mat.hpp"
+#include "math/vec.hpp"
+
+namespace scs {
+
+/// LU factorization with partial pivoting of a square matrix.
+/// Construction performs the factorization; `singular()` reports whether a
+/// pivot collapsed below tolerance (solves then throw).
+class Lu {
+ public:
+  explicit Lu(const Mat& a, double pivot_tol = 1e-13);
+
+  bool singular() const { return singular_; }
+
+  /// Solve A x = b.
+  Vec solve(const Vec& b) const;
+  /// Solve A X = B column-by-column.
+  Mat solve(const Mat& b) const;
+
+  /// Determinant of A (0 if flagged singular).
+  double determinant() const;
+
+ private:
+  Mat lu_;                    // packed L (unit lower) and U
+  std::vector<std::size_t> perm_;  // row permutation
+  int perm_sign_ = 1;
+  bool singular_ = false;
+};
+
+/// Convenience: solve A x = b, returning std::nullopt when A is singular.
+std::optional<Vec> solve_linear(const Mat& a, const Vec& b);
+
+/// Convenience: inverse of A (throws on singular input).
+Mat inverse(const Mat& a);
+
+}  // namespace scs

@@ -1,0 +1,240 @@
+#include "math/mat.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace scs {
+
+Mat::Mat(std::size_t rows, std::size_t cols, double value)
+    : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+
+Mat Mat::identity(std::size_t n) {
+  Mat out(n, n);
+  for (std::size_t i = 0; i < n; ++i) out(i, i) = 1.0;
+  return out;
+}
+
+Mat Mat::diag(const Vec& d) {
+  Mat out(d.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) out(i, i) = d[i];
+  return out;
+}
+
+double& Mat::at(std::size_t i, std::size_t j) {
+  SCS_REQUIRE(i < rows_ && j < cols_, "Mat::at: index out of range");
+  return (*this)(i, j);
+}
+
+double Mat::at(std::size_t i, std::size_t j) const {
+  SCS_REQUIRE(i < rows_ && j < cols_, "Mat::at: index out of range");
+  return (*this)(i, j);
+}
+
+Mat& Mat::operator+=(const Mat& rhs) {
+  SCS_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+              "Mat::operator+=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Mat& Mat::operator-=(const Mat& rhs) {
+  SCS_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+              "Mat::operator-=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Mat& Mat::operator*=(double s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+Mat& Mat::axpy(double s, const Mat& rhs) {
+  SCS_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+              "Mat::axpy: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += s * rhs.data_[i];
+  return *this;
+}
+
+Mat Mat::transpose() const {
+  Mat out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  return out;
+}
+
+double Mat::frobenius_norm() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double Mat::max_abs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+double Mat::trace() const {
+  SCS_REQUIRE(rows_ == cols_, "Mat::trace: matrix must be square");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < rows_; ++i) acc += (*this)(i, i);
+  return acc;
+}
+
+void Mat::symmetrize() {
+  SCS_REQUIRE(rows_ == cols_, "Mat::symmetrize: matrix must be square");
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = i + 1; j < cols_; ++j) {
+      const double v = 0.5 * ((*this)(i, j) + (*this)(j, i));
+      (*this)(i, j) = v;
+      (*this)(j, i) = v;
+    }
+}
+
+Vec Mat::col(std::size_t j) const {
+  SCS_REQUIRE(j < cols_, "Mat::col: index out of range");
+  Vec out(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) out[i] = (*this)(i, j);
+  return out;
+}
+
+Vec Mat::row(std::size_t i) const {
+  SCS_REQUIRE(i < rows_, "Mat::row: index out of range");
+  Vec out(cols_);
+  for (std::size_t j = 0; j < cols_; ++j) out[j] = (*this)(i, j);
+  return out;
+}
+
+void Mat::set_row(std::size_t i, const Vec& v) {
+  SCS_REQUIRE(i < rows_ && v.size() == cols_, "Mat::set_row: shape mismatch");
+  for (std::size_t j = 0; j < cols_; ++j) (*this)(i, j) = v[j];
+}
+
+void Mat::set_col(std::size_t j, const Vec& v) {
+  SCS_REQUIRE(j < cols_ && v.size() == rows_, "Mat::set_col: shape mismatch");
+  for (std::size_t i = 0; i < rows_; ++i) (*this)(i, j) = v[i];
+}
+
+std::string Mat::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    os << (i == 0 ? "[" : " ");
+    for (std::size_t j = 0; j < cols_; ++j) {
+      if (j) os << ", ";
+      os << (*this)(i, j);
+    }
+    os << (i + 1 == rows_ ? "]" : ";\n");
+  }
+  return os.str();
+}
+
+Mat operator+(Mat lhs, const Mat& rhs) { return lhs += rhs; }
+Mat operator-(Mat lhs, const Mat& rhs) { return lhs -= rhs; }
+Mat operator*(double s, Mat m) { return m *= s; }
+Mat operator*(Mat m, double s) { return m *= s; }
+
+Mat matmul(const Mat& a, const Mat& b) {
+  SCS_REQUIRE(a.cols() == b.rows(), "matmul: inner dimension mismatch");
+  Mat out(a.rows(), b.cols());
+  // i-k-j loop order keeps all three accesses row-contiguous.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double* out_row = out.row_ptr(i);
+    const double* a_row = a.row_ptr(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a_row[k];
+      if (aik == 0.0) continue;
+      const double* b_row = b.row_ptr(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) out_row[j] += aik * b_row[j];
+    }
+  }
+  return out;
+}
+
+Mat matmul_at_b(const Mat& a, const Mat& b) {
+  SCS_REQUIRE(a.rows() == b.rows(), "matmul_at_b: dimension mismatch");
+  Mat out(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const double* a_row = a.row_ptr(k);
+    const double* b_row = b.row_ptr(k);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double aki = a_row[i];
+      if (aki == 0.0) continue;
+      double* out_row = out.row_ptr(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) out_row[j] += aki * b_row[j];
+    }
+  }
+  return out;
+}
+
+Mat matmul_a_bt(const Mat& a, const Mat& b) {
+  SCS_REQUIRE(a.cols() == b.cols(), "matmul_a_bt: dimension mismatch");
+  Mat out(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* a_row = a.row_ptr(i);
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const double* b_row = b.row_ptr(j);
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += a_row[k] * b_row[k];
+      out(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+Vec matvec(const Mat& a, const Vec& x) {
+  SCS_REQUIRE(a.cols() == x.size(), "matvec: dimension mismatch");
+  Vec out(a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.row_ptr(i);
+    double acc = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) acc += row[j] * x[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+Vec matvec_t(const Mat& a, const Vec& x) {
+  SCS_REQUIRE(a.rows() == x.size(), "matvec_t: dimension mismatch");
+  Vec out(a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.row_ptr(i);
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (std::size_t j = 0; j < a.cols(); ++j) out[j] += row[j] * xi;
+  }
+  return out;
+}
+
+Mat outer(const Vec& a, const Vec& b) {
+  Mat out(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    for (std::size_t j = 0; j < b.size(); ++j) out(i, j) = a[i] * b[j];
+  return out;
+}
+
+double frob_inner(const Mat& a, const Mat& b) {
+  SCS_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+              "frob_inner: shape mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* ra = a.row_ptr(i);
+    const double* rb = b.row_ptr(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) acc += ra[j] * rb[j];
+  }
+  return acc;
+}
+
+double max_abs_diff(const Mat& a, const Mat& b) {
+  SCS_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+              "max_abs_diff: shape mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      m = std::max(m, std::fabs(a(i, j) - b(i, j)));
+  return m;
+}
+
+}  // namespace scs

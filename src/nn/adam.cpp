@@ -1,0 +1,39 @@
+#include "nn/adam.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace scs {
+
+Adam::Adam(std::size_t parameter_count, const AdamConfig& config)
+    : config_(config), m_(parameter_count, 0.0), v_(parameter_count, 0.0) {
+  SCS_REQUIRE(config.lr > 0.0, "Adam: learning rate must be positive");
+  SCS_REQUIRE(config.beta1 >= 0.0 && config.beta1 < 1.0, "Adam: bad beta1");
+  SCS_REQUIRE(config.beta2 >= 0.0 && config.beta2 < 1.0, "Adam: bad beta2");
+}
+
+void Adam::step(Vec& params, const Vec& grad) {
+  SCS_REQUIRE(params.size() == m_.size() && grad.size() == m_.size(),
+              "Adam::step: size mismatch");
+  ++t_;
+  const double b1 = config_.beta1;
+  const double b2 = config_.beta2;
+  const double bc1 = 1.0 - std::pow(b1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(b2, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    m_[i] = b1 * m_[i] + (1.0 - b1) * grad[i];
+    v_[i] = b2 * v_[i] + (1.0 - b2) * grad[i] * grad[i];
+    const double mhat = m_[i] / bc1;
+    const double vhat = v_[i] / bc2;
+    params[i] -= config_.lr * mhat / (std::sqrt(vhat) + config_.eps);
+  }
+}
+
+void Adam::reset() {
+  m_.fill(0.0);
+  v_.fill(0.0);
+  t_ = 0;
+}
+
+}  // namespace scs

@@ -1,0 +1,33 @@
+// Adam optimizer over flat parameter vectors (Kingma & Ba).
+#pragma once
+
+#include "math/vec.hpp"
+
+namespace scs {
+
+struct AdamConfig {
+  double lr = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+};
+
+/// Stateful Adam on a fixed-size parameter vector.
+class Adam {
+ public:
+  Adam(std::size_t parameter_count, const AdamConfig& config = {});
+
+  /// One update: params -= lr * mhat / (sqrt(vhat) + eps).
+  void step(Vec& params, const Vec& grad);
+
+  void reset();
+  const AdamConfig& config() const { return config_; }
+
+ private:
+  AdamConfig config_;
+  Vec m_;
+  Vec v_;
+  long t_ = 0;
+};
+
+}  // namespace scs

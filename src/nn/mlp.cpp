@@ -1,0 +1,200 @@
+#include "nn/mlp.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace scs {
+
+Vec activate(Activation act, const Vec& pre) {
+  Vec out(pre);
+  switch (act) {
+    case Activation::kIdentity:
+      break;
+    case Activation::kRelu:
+      for (auto& v : out) v = v > 0.0 ? v : 0.0;
+      break;
+    case Activation::kTanh:
+      for (auto& v : out) v = std::tanh(v);
+      break;
+  }
+  return out;
+}
+
+double activation_grad_from_output(Activation act, double post, double pre) {
+  switch (act) {
+    case Activation::kIdentity:
+      return 1.0;
+    case Activation::kRelu:
+      return pre > 0.0 ? 1.0 : 0.0;
+    case Activation::kTanh:
+      return 1.0 - post * post;
+  }
+  return 1.0;
+}
+
+Mlp::Mlp(std::size_t input_dim, const std::vector<std::size_t>& hidden,
+         std::size_t output_dim, Activation hidden_act, Activation output_act,
+         Rng& rng) {
+  SCS_REQUIRE(input_dim > 0 && output_dim > 0, "Mlp: zero-sized layer");
+  std::vector<std::size_t> dims;
+  dims.push_back(input_dim);
+  for (std::size_t h : hidden) {
+    SCS_REQUIRE(h > 0, "Mlp: zero-sized hidden layer");
+    dims.push_back(h);
+  }
+  dims.push_back(output_dim);
+
+  for (std::size_t k = 0; k + 1 < dims.size(); ++k) {
+    const std::size_t in = dims[k];
+    const std::size_t out = dims[k + 1];
+    const bool last = (k + 2 == dims.size());
+    const Activation act = last ? output_act : hidden_act;
+    // He initialization for ReLU layers, Xavier-style otherwise.
+    const double scale = (act == Activation::kRelu)
+                             ? std::sqrt(2.0 / static_cast<double>(in))
+                             : std::sqrt(1.0 / static_cast<double>(in));
+    Mat w(out, in);
+    for (std::size_t i = 0; i < out; ++i)
+      for (std::size_t j = 0; j < in; ++j) w(i, j) = rng.normal(0.0, scale);
+    weights_.push_back(std::move(w));
+    biases_.push_back(Vec(out, 0.0));
+    acts_.push_back(act);
+  }
+}
+
+std::size_t Mlp::input_dim() const {
+  SCS_REQUIRE(!weights_.empty(), "Mlp: uninitialized network");
+  return weights_.front().cols();
+}
+
+std::size_t Mlp::output_dim() const {
+  SCS_REQUIRE(!weights_.empty(), "Mlp: uninitialized network");
+  return weights_.back().rows();
+}
+
+Vec Mlp::forward(const Vec& x) const {
+  SCS_REQUIRE(!weights_.empty(), "Mlp::forward: uninitialized network");
+  Vec h = x;
+  for (std::size_t k = 0; k < weights_.size(); ++k) {
+    Vec pre = matvec(weights_[k], h);
+    pre += biases_[k];
+    h = activate(acts_[k], pre);
+  }
+  return h;
+}
+
+Vec Mlp::forward(const Vec& x, Workspace& ws) const {
+  SCS_REQUIRE(!weights_.empty(), "Mlp::forward: uninitialized network");
+  ws.pre.assign(weights_.size(), Vec());
+  ws.post.assign(weights_.size() + 1, Vec());
+  ws.post[0] = x;
+  for (std::size_t k = 0; k < weights_.size(); ++k) {
+    Vec pre = matvec(weights_[k], ws.post[k]);
+    pre += biases_[k];
+    ws.post[k + 1] = activate(acts_[k], pre);
+    ws.pre[k] = std::move(pre);
+  }
+  return ws.post.back();
+}
+
+std::size_t Mlp::parameter_count() const {
+  std::size_t total = 0;
+  for (std::size_t k = 0; k < weights_.size(); ++k)
+    total += weights_[k].rows() * weights_[k].cols() + biases_[k].size();
+  return total;
+}
+
+Vec Mlp::parameters() const {
+  Vec flat(parameter_count());
+  std::size_t pos = 0;
+  for (std::size_t k = 0; k < weights_.size(); ++k) {
+    const Mat& w = weights_[k];
+    for (std::size_t i = 0; i < w.rows(); ++i)
+      for (std::size_t j = 0; j < w.cols(); ++j) flat[pos++] = w(i, j);
+    for (std::size_t i = 0; i < biases_[k].size(); ++i)
+      flat[pos++] = biases_[k][i];
+  }
+  return flat;
+}
+
+void Mlp::set_parameters(const Vec& flat) {
+  SCS_REQUIRE(flat.size() == parameter_count(),
+              "Mlp::set_parameters: size mismatch");
+  std::size_t pos = 0;
+  for (std::size_t k = 0; k < weights_.size(); ++k) {
+    Mat& w = weights_[k];
+    for (std::size_t i = 0; i < w.rows(); ++i)
+      for (std::size_t j = 0; j < w.cols(); ++j) w(i, j) = flat[pos++];
+    for (std::size_t i = 0; i < biases_[k].size(); ++i)
+      biases_[k][i] = flat[pos++];
+  }
+}
+
+Vec Mlp::backward(const Workspace& ws, const Vec& dloss_dy, Vec& grad) const {
+  SCS_REQUIRE(grad.size() == parameter_count(),
+              "Mlp::backward: gradient buffer size mismatch");
+  SCS_REQUIRE(ws.post.size() == weights_.size() + 1,
+              "Mlp::backward: workspace does not match this network");
+  SCS_REQUIRE(dloss_dy.size() == output_dim(),
+              "Mlp::backward: output gradient size mismatch");
+
+  // Precompute each layer's flat offset.
+  std::vector<std::size_t> offsets(weights_.size());
+  std::size_t pos = 0;
+  for (std::size_t k = 0; k < weights_.size(); ++k) {
+    offsets[k] = pos;
+    pos += weights_[k].rows() * weights_[k].cols() + biases_[k].size();
+  }
+
+  Vec delta = dloss_dy;  // dL/d(post of current layer)
+  for (std::size_t kk = weights_.size(); kk-- > 0;) {
+    const Mat& w = weights_[kk];
+    const Vec& input = ws.post[kk];
+    const Vec& pre = ws.pre[kk];
+    const Vec& post = ws.post[kk + 1];
+    // dL/d(pre) = delta .* act'(pre).
+    Vec dpre(delta.size());
+    for (std::size_t i = 0; i < delta.size(); ++i)
+      dpre[i] =
+          delta[i] * activation_grad_from_output(acts_[kk], post[i], pre[i]);
+    // Accumulate dL/dW = dpre * input^T and dL/db = dpre.
+    std::size_t p = offsets[kk];
+    for (std::size_t i = 0; i < w.rows(); ++i) {
+      const double di = dpre[i];
+      for (std::size_t j = 0; j < w.cols(); ++j) grad[p++] += di * input[j];
+    }
+    for (std::size_t i = 0; i < dpre.size(); ++i) grad[p++] += dpre[i];
+    // dL/d(input) = W^T dpre.
+    delta = matvec_t(w, dpre);
+  }
+  return delta;
+}
+
+void Mlp::soft_update_from(const Mlp& other, double tau) {
+  SCS_REQUIRE(parameter_count() == other.parameter_count(),
+              "Mlp::soft_update_from: architecture mismatch");
+  Vec mine = parameters();
+  const Vec theirs = other.parameters();
+  for (std::size_t i = 0; i < mine.size(); ++i)
+    mine[i] = tau * theirs[i] + (1.0 - tau) * mine[i];
+  set_parameters(mine);
+}
+
+void Mlp::scale_output_layer(double factor) {
+  SCS_REQUIRE(!weights_.empty(), "Mlp::scale_output_layer: uninitialized");
+  weights_.back() *= factor;
+  biases_.back() *= factor;
+}
+
+std::string Mlp::structure_string() const {
+  std::ostringstream os;
+  os << input_dim();
+  for (std::size_t k = 0; k + 1 < weights_.size(); ++k)
+    os << '-' << weights_[k].rows();
+  os << '-' << output_dim();
+  return os.str();
+}
+
+}  // namespace scs

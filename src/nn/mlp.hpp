@@ -1,0 +1,89 @@
+// Feed-forward multilayer perceptron with manual backpropagation.
+//
+// This is the DNN-controller substrate for Section 3.1: actors are
+// "n-30(5)-1" style ReLU networks with tanh output (as in Table 2); the DDPG
+// critic reuses the same class with an identity output.
+//
+// Parameters can be flattened to a single Vec (layer-major: W row-major,
+// then b), which is what the Adam optimizer and the DDPG soft target
+// updates operate on.
+#pragma once
+
+#include <vector>
+
+#include "math/mat.hpp"
+#include "math/vec.hpp"
+#include "util/rng.hpp"
+
+namespace scs {
+
+enum class Activation { kIdentity, kRelu, kTanh };
+
+/// Apply an activation elementwise.
+Vec activate(Activation act, const Vec& pre);
+/// Derivative of the activation given its *output* value.
+double activation_grad_from_output(Activation act, double post, double pre);
+
+class Mlp {
+ public:
+  Mlp() = default;
+
+  /// Fully connected net: input -> hidden[0] -> ... -> output.
+  /// Hidden layers use `hidden_act`; the last layer uses `output_act`.
+  /// Weights get He/Xavier-style initialization from `rng`.
+  Mlp(std::size_t input_dim, const std::vector<std::size_t>& hidden,
+      std::size_t output_dim, Activation hidden_act, Activation output_act,
+      Rng& rng);
+
+  std::size_t input_dim() const;
+  std::size_t output_dim() const;
+  std::size_t layer_count() const { return weights_.size(); }
+
+  /// Plain forward pass.
+  Vec forward(const Vec& x) const;
+
+  /// Cached activations from a forward pass, needed by backward().
+  struct Workspace {
+    std::vector<Vec> pre;   // pre-activation per layer
+    std::vector<Vec> post;  // post[0] is the input; post[k+1] = layer k output
+  };
+
+  /// Forward pass that records the workspace.
+  Vec forward(const Vec& x, Workspace& ws) const;
+
+  /// Backpropagate dL/dy through the recorded pass. Accumulates parameter
+  /// gradients into `grad` (flattened layout, must be parameter_count()
+  /// long) and returns dL/dx.
+  Vec backward(const Workspace& ws, const Vec& dloss_dy, Vec& grad) const;
+
+  /// Number of scalar parameters.
+  std::size_t parameter_count() const;
+
+  /// Flattened parameters (layer-major; W row-major, then b).
+  Vec parameters() const;
+  void set_parameters(const Vec& flat);
+
+  /// Soft update toward another net: theta <- tau * other + (1-tau) * theta.
+  /// Architectures must match.
+  void soft_update_from(const Mlp& other, double tau);
+
+  const Mat& weight(std::size_t layer) const { return weights_[layer]; }
+  const Vec& bias(std::size_t layer) const { return biases_[layer]; }
+  Mat& mutable_weight(std::size_t layer) { return weights_[layer]; }
+  Vec& mutable_bias(std::size_t layer) { return biases_[layer]; }
+
+  /// Rescale the output layer's weights and biases (the DDPG paper's small
+  /// final-layer initialization, preventing early tanh saturation).
+  void scale_output_layer(double factor);
+  Activation activation(std::size_t layer) const { return acts_[layer]; }
+
+  /// "n-30(5)-1"-style structure string as printed in Table 2.
+  std::string structure_string() const;
+
+ private:
+  std::vector<Mat> weights_;  // weights_[k]: (out_k x in_k)
+  std::vector<Vec> biases_;
+  std::vector<Activation> acts_;
+};
+
+}  // namespace scs

@@ -1,0 +1,119 @@
+#include "nn/serialize.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace scs {
+
+namespace {
+const char* activation_name(Activation a) {
+  switch (a) {
+    case Activation::kIdentity:
+      return "identity";
+    case Activation::kRelu:
+      return "relu";
+    case Activation::kTanh:
+      return "tanh";
+  }
+  return "?";
+}
+
+Activation activation_from(const std::string& name) {
+  if (name == "identity") return Activation::kIdentity;
+  if (name == "relu") return Activation::kRelu;
+  if (name == "tanh") return Activation::kTanh;
+  throw PreconditionError("load_mlp: unknown activation '" + name + "'");
+}
+}  // namespace
+
+void save_mlp(const Mlp& net, std::ostream& os) {
+  os << "scs-mlp 1\n";
+  os << "layers " << net.layer_count() << "\n";
+  os << std::setprecision(17);
+  for (std::size_t k = 0; k < net.layer_count(); ++k) {
+    const Mat& w = net.weight(k);
+    const Vec& b = net.bias(k);
+    os << "layer " << w.rows() << ' ' << w.cols() << ' '
+       << activation_name(net.activation(k)) << "\n";
+    for (std::size_t i = 0; i < w.rows(); ++i) {
+      for (std::size_t j = 0; j < w.cols(); ++j) os << w(i, j) << ' ';
+      os << '\n';
+    }
+    for (std::size_t i = 0; i < b.size(); ++i) os << b[i] << ' ';
+    os << '\n';
+  }
+}
+
+Mlp load_mlp(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  is >> magic >> version;
+  SCS_REQUIRE(magic == "scs-mlp" && version == 1,
+              "load_mlp: bad header (expected 'scs-mlp 1')");
+  std::string token;
+  std::size_t layers = 0;
+  is >> token >> layers;
+  SCS_REQUIRE(token == "layers" && layers > 0, "load_mlp: bad layer count");
+
+  // Reconstruct the architecture first, then fill parameters.
+  std::vector<std::size_t> dims;
+  std::vector<Activation> acts;
+  std::vector<Mat> weights;
+  std::vector<Vec> biases;
+  for (std::size_t k = 0; k < layers; ++k) {
+    std::size_t out = 0, in = 0;
+    std::string act_name;
+    is >> token >> out >> in >> act_name;
+    SCS_REQUIRE(token == "layer" && out > 0 && in > 0,
+                "load_mlp: bad layer header");
+    if (k == 0)
+      dims.push_back(in);
+    else
+      SCS_REQUIRE(in == dims.back(), "load_mlp: inconsistent layer sizes");
+    dims.push_back(out);
+    acts.push_back(activation_from(act_name));
+    Mat w(out, in);
+    for (std::size_t i = 0; i < out; ++i)
+      for (std::size_t j = 0; j < in; ++j) is >> w(i, j);
+    Vec b(out);
+    for (std::size_t i = 0; i < out; ++i) is >> b[i];
+    SCS_REQUIRE(static_cast<bool>(is), "load_mlp: truncated parameter data");
+    weights.push_back(std::move(w));
+    biases.push_back(std::move(b));
+  }
+
+  // Build an Mlp of the right shape, then overwrite its parameters.
+  Rng dummy(0);
+  std::vector<std::size_t> hidden(dims.begin() + 1, dims.end() - 1);
+  Mlp net(dims.front(), hidden, dims.back(),
+          layers >= 2 ? acts.front() : acts.back(), acts.back(), dummy);
+  for (std::size_t k = 0; k < layers; ++k) {
+    net.mutable_weight(k) = weights[k];
+    net.mutable_bias(k) = biases[k];
+  }
+  // Restore per-layer activations exactly (mixed stacks round-trip too).
+  // The constructor already set the output activation; hidden layers with
+  // non-uniform activations are rebuilt via parameters only, so check.
+  for (std::size_t k = 0; k < layers; ++k)
+    SCS_REQUIRE(net.activation(k) == acts[k],
+                "load_mlp: unsupported mixed hidden activations");
+  return net;
+}
+
+void save_mlp_file(const Mlp& net, const std::string& path) {
+  std::ofstream os(path);
+  SCS_REQUIRE(os.good(), "save_mlp_file: cannot open " + path);
+  save_mlp(net, os);
+  SCS_REQUIRE(os.good(), "save_mlp_file: write failed for " + path);
+}
+
+Mlp load_mlp_file(const std::string& path) {
+  std::ifstream is(path);
+  SCS_REQUIRE(is.good(), "load_mlp_file: cannot open " + path);
+  return load_mlp(is);
+}
+
+}  // namespace scs

@@ -1,0 +1,26 @@
+// Text serialization for MLPs: persist trained actors / barriers so that
+// the expensive RL stage can be decoupled from the verification stages.
+//
+// Format (line-oriented, locale-independent):
+//   scs-mlp 1
+//   layers <count>
+//   layer <out> <in> <activation>
+//   <out*in weight values> <out bias values>
+//   ...
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/mlp.hpp"
+
+namespace scs {
+
+void save_mlp(const Mlp& net, std::ostream& os);
+Mlp load_mlp(std::istream& is);
+
+/// File helpers (throw PreconditionError on I/O failure).
+void save_mlp_file(const Mlp& net, const std::string& path);
+Mlp load_mlp_file(const std::string& path);
+
+}  // namespace scs

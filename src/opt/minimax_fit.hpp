@@ -1,0 +1,42 @@
+// Discrete linear minimax (Chebyshev) fitting -- the scenario program (8):
+//
+//     min_c  e   s.t.  |u_i - phi(x_i)' c| <= e  for all K samples,
+//
+// solved at scale by Lawson's iteratively reweighted least squares followed
+// by an exact active-set exchange refinement (each exchange step solves a
+// small LP over the current support set with the revised simplex).
+//
+// The returned error is always the exact achieved max |residual| over all K
+// samples, i.e. a feasible objective value of (8); when `exact` is true it
+// matches the LP optimum to within `exchange_tol`.
+#pragma once
+
+#include "math/mat.hpp"
+#include "math/vec.hpp"
+
+namespace scs {
+
+struct MinimaxOptions {
+  int lawson_iterations = 40;
+  int exchange_rounds = 60;
+  int exchange_add_per_round = 8;
+  double exchange_tol = 1e-7;  // |e_full - e_support| acceptance threshold
+  double ridge = 1e-10;        // Tikhonov jitter for the weighted LS solves
+};
+
+struct MinimaxFitResult {
+  Vec coefficients;       // c*
+  double error = 0.0;     // max_i |u_i - phi_i' c*| over all samples
+  double support_error = 0.0;  // LP optimum on the final support set
+  bool exact = false;     // exchange converged to the global LP optimum
+  int lawson_iterations = 0;
+  int exchange_rounds = 0;
+  std::vector<std::size_t> support;  // active sample indices at optimum
+};
+
+/// Fit: design is K x v (rows are basis evaluations phi(x_i)), targets u_i.
+/// Requires K >= 1 and v >= 1; K >= v is needed for a meaningful fit.
+MinimaxFitResult minimax_fit(const Mat& design, const Vec& targets,
+                             const MinimaxOptions& options = {});
+
+}  // namespace scs

@@ -1,0 +1,81 @@
+// Block-diagonal semidefinite programming with free variables, solved by an
+// infeasible-start primal-dual interior-point method (HKM search direction
+// with Mehrotra predictor-corrector).
+//
+// Primal form:
+//
+//   min  sum_l w_l tr(X_l) + c_f' f
+//   s.t. sum_l <A_il, X_l> + (B f)_i = b_i,   i = 1..m
+//        X_l >= 0 (PSD),  f free,
+//
+// which is exactly the shape produced by the SOS compiler for the barrier
+// program (12): one PSD block per Gram matrix, free variables for the
+// barrier coefficients b, and one equality per matched monomial.
+//
+// The paper offloads this step to PENBMI / LMI solvers; this in-repo solver
+// is the substitution documented in DESIGN.md.
+#pragma once
+
+#include <vector>
+
+#include "math/mat.hpp"
+#include "math/vec.hpp"
+
+namespace scs {
+
+/// One entry of a symmetric constraint matrix: A(row,col) = A(col,row) =
+/// value (specify each unordered pair once; row <= col recommended).
+struct SdpEntry {
+  std::size_t block = 0;
+  std::size_t row = 0;
+  std::size_t col = 0;
+  double value = 0.0;
+};
+
+struct SdpConstraint {
+  std::vector<SdpEntry> entries;
+  std::vector<std::pair<std::size_t, double>> free_terms;  // (index, coeff)
+  double rhs = 0.0;
+};
+
+struct SdpProblem {
+  std::vector<std::size_t> block_dims;
+  std::size_t num_free = 0;
+  std::vector<SdpConstraint> constraints;
+  /// Per-block objective weight w_l (C_l = w_l * I). A small uniform weight
+  /// turns a feasibility problem into a well-posed trace minimization.
+  std::vector<double> block_obj_weight;
+  Vec free_obj;  // optional; zero if empty
+};
+
+enum class SdpStatus {
+  kConverged,          // small residuals and duality gap
+  kMaxIterations,      // ran out of iterations (inspect residuals)
+  kNumericalFailure,   // lost positive definiteness / factorization failed
+  kInfeasible,         // structurally infeasible (inconsistent empty row)
+};
+
+struct SdpSolution {
+  SdpStatus status = SdpStatus::kNumericalFailure;
+  std::vector<Mat> x;  // primal PSD blocks
+  Vec free_vars;
+  Vec y;               // dual multipliers per constraint
+  double primal_objective = 0.0;
+  double primal_infeasibility = 0.0;  // ||b - A(X) - Bf|| / (1 + ||b||)
+  double dual_infeasibility = 0.0;
+  double duality_gap = 0.0;           // normalized <X, S>
+  int iterations = 0;
+};
+
+struct SdpOptions {
+  int max_iterations = 100;
+  double tol_feasibility = 1e-7;
+  double tol_gap = 1e-7;
+  double step_fraction = 0.98;
+  double initial_scale = 0.0;  // 0 = auto from problem data
+  bool verbose = false;
+};
+
+SdpSolution solve_sdp(const SdpProblem& problem, const SdpOptions& options = {});
+
+}  // namespace scs

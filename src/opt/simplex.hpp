@@ -1,0 +1,43 @@
+// Dense two-phase revised simplex for standard-form linear programs:
+//
+//     min c'x   s.t.  A x = b,  x >= 0.
+//
+// Sized for the small exact LPs inside the minimax exchange refinement
+// (tens of rows/columns); the large scenario programs never reach this
+// solver directly -- see minimax_fit.hpp.
+#pragma once
+
+#include <vector>
+
+#include "math/mat.hpp"
+#include "math/vec.hpp"
+
+namespace scs {
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+struct LpProblem {
+  Mat a;  // m x n
+  Vec b;  // length m
+  Vec c;  // length n
+};
+
+struct LpSolution {
+  LpStatus status = LpStatus::kIterationLimit;
+  Vec x;
+  double objective = 0.0;
+  Vec dual;  // y with A' y <= c at optimality
+  std::vector<std::size_t> basis;
+  int iterations = 0;
+};
+
+struct LpOptions {
+  int max_iterations = 20000;
+  double tol = 1e-9;
+};
+
+/// Solve a standard-form LP. Rows of A should be linearly independent;
+/// redundant-but-consistent rows are tolerated (artificials pinned at zero).
+LpSolution solve_lp(const LpProblem& problem, const LpOptions& options = {});
+
+}  // namespace scs

@@ -1,0 +1,183 @@
+#include "pac/pac_fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "opt/minimax_fit.hpp"
+#include "pac/scenario.hpp"
+#include "poly/basis.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+#include "util/stopwatch.hpp"
+
+namespace scs {
+
+namespace {
+
+/// Build the design matrix of basis evaluations at the sampled points.
+Mat build_design(const std::vector<Vec>& points,
+                 const std::vector<Monomial>& basis) {
+  Mat design(points.size(), basis.size());
+  for (std::size_t i = 0; i < points.size(); ++i)
+    design.set_row(i, evaluate_basis(basis, points[i]));
+  return design;
+}
+
+}  // namespace
+
+PacResult pac_approximate(const ScalarFn& fn, const SemialgebraicSet& domain,
+                          const PacSettings& settings, Rng& rng,
+                          const PacFitOptions& options) {
+  SCS_REQUIRE(settings.max_degree >= 1, "pac_approximate: max_degree >= 1");
+  SCS_REQUIRE(!settings.eps_list.empty(), "pac_approximate: empty eps list");
+  PacResult result;
+  Stopwatch total;
+
+  const std::size_t n = domain.dim();
+  double best_error = std::numeric_limits<double>::infinity();
+
+  // Fit in unit-box coordinates y = x / s (s from the domain box): high-
+  // degree design matrices on wide boxes are otherwise too ill-conditioned
+  // for the weighted least-squares steps. The returned polynomial is mapped
+  // back to x-coordinates, so callers never see the scaling.
+  Vec s(n, 1.0), s_inv(n, 1.0);
+  {
+    const Box& box = domain.sampling_box();
+    for (std::size_t i = 0; i < n; ++i) {
+      s[i] = std::max({std::fabs(box.lo[i]), std::fabs(box.hi[i]), 1e-9});
+      s_inv[i] = 1.0 / s[i];
+    }
+  }
+
+  for (int d = 1; d <= settings.max_degree; ++d) {
+    const auto basis = monomials_up_to(n, d);
+    const std::size_t kappa = pac_template_kappa(n, d);
+    std::vector<double> error_list;
+    PacModel degree_best;
+    degree_best.error = std::numeric_limits<double>::infinity();
+
+    for (double eps : settings.eps_list) {
+      Stopwatch sw;
+      PacTraceRow row;
+      row.degree = d;
+      row.eta = settings.eta;
+      row.eps = eps;
+      row.samples = scenario_sample_count(eps, settings.eta, kappa);
+      row.samples_used = row.samples;
+      if (options.max_samples > 0 && row.samples_used > options.max_samples)
+        row.samples_used = options.max_samples;
+      // Memory guard on the design matrix (K x v doubles).
+      const std::uint64_t bytes_per_sample = 8 * basis.size();
+      const std::uint64_t max_by_memory =
+          std::max<std::uint64_t>(1000,
+                                  options.max_design_bytes / bytes_per_sample);
+      if (row.samples_used > max_by_memory) {
+        row.samples_used = max_by_memory;
+        log_info("pac: capping K at ", max_by_memory,
+                 " by the design-matrix memory guard");
+      }
+      if (row.samples_used < row.samples) {
+        // Recompute the honest error rate achievable with the capped count.
+        row.eps = scenario_eps_for_samples(row.samples_used, settings.eta,
+                                           kappa);
+      }
+
+      // Draw K i.i.d. samples from Psi (Assumption 1: uniform measure).
+      auto points =
+          domain.sample_many(static_cast<std::size_t>(row.samples_used), rng);
+      Vec targets(points.size());
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        targets[i] = fn(points[i]);
+        // Move the design point into unit-box coordinates.
+        for (std::size_t j = 0; j < n; ++j) points[i][j] *= s_inv[j];
+      }
+
+      const Mat design = build_design(points, basis);
+      const MinimaxFitResult fit = minimax_fit(design, targets);
+      row.error = fit.error;
+      error_list.push_back(fit.error);
+      row.delta_e = (error_list.size() >= 2)
+                        ? std::fabs(error_list[error_list.size() - 1] -
+                                    error_list[error_list.size() - 2])
+                        : std::numeric_limits<double>::quiet_NaN();
+      // check(error_list): |delta e| small => e has converged for this d.
+      row.converged = error_list.size() >= 2 &&
+                      row.delta_e <= settings.delta_e_tol;
+      row.accepted = row.converged && fit.error <= settings.tau;
+      row.seconds = sw.seconds();
+      result.trace.push_back(row);
+
+      log_debug("pac: d=", d, " eps=", row.eps, " K=", row.samples_used,
+                " e=", fit.error);
+
+      // The representative model at this degree is the *latest* attempt:
+      // later attempts use more samples, so their error estimates dominate
+      // earlier small-K fits (whose minimax error is optimistically low).
+      degree_best.poly =
+          Polynomial::from_coefficients(basis, fit.coefficients)
+              .scale_vars(s_inv);  // back to x-coordinates
+      degree_best.error = fit.error;
+      degree_best.eps = row.eps;
+      degree_best.eta = settings.eta;
+      degree_best.samples = row.samples_used;
+      degree_best.degree = d;
+
+      if (row.accepted) {
+        result.success = true;
+        result.model = degree_best;
+        result.per_degree.push_back(degree_best);
+        result.total_seconds = total.seconds();
+        return result;
+      }
+      if (row.converged) {
+        // The error has converged in K but exceeds tau: no amount of extra
+        // samples helps at this degree -- raise the degree (this matches the
+        // per-degree rows of Table 1).
+        break;
+      }
+    }
+    if (std::isfinite(degree_best.error))
+      result.per_degree.push_back(degree_best);
+  }
+  // No acceptance: report the lowest-error converged model across degrees.
+  for (const auto& m : result.per_degree) {
+    if (m.error < best_error) {
+      best_error = m.error;
+      result.model = m;
+    }
+  }
+  result.total_seconds = total.seconds();
+  return result;
+}
+
+PacVectorResult pac_approximate_vector(
+    const std::function<Vec(const Vec&)>& fn, std::size_t output_dim,
+    const SemialgebraicSet& domain, const PacSettings& settings, Rng& rng,
+    const PacFitOptions& options) {
+  SCS_REQUIRE(output_dim >= 1, "pac_approximate_vector: bad output dim");
+  PacVectorResult out;
+  out.success = true;
+  for (std::size_t k = 0; k < output_dim; ++k) {
+    const ScalarFn channel = [&fn, k](const Vec& x) { return fn(x)[k]; };
+    PacResult r = pac_approximate(channel, domain, settings, rng, options);
+    out.success = out.success && r.success;
+    out.models.push_back(r.model);
+    out.per_channel.push_back(std::move(r));
+  }
+  return out;
+}
+
+double empirical_violation_rate(const PacModel& model, const ScalarFn& fn,
+                                const SemialgebraicSet& domain,
+                                std::size_t samples, Rng& rng) {
+  SCS_REQUIRE(samples > 0, "empirical_violation_rate: need samples > 0");
+  std::size_t violations = 0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const Vec x = domain.sample(rng);
+    if (std::fabs(model.poly.evaluate(x) - fn(x)) > model.error)
+      ++violations;
+  }
+  return static_cast<double>(violations) / static_cast<double>(samples);
+}
+
+}  // namespace scs

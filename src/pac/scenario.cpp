@@ -1,0 +1,31 @@
+#include "pac/scenario.hpp"
+
+#include <cmath>
+
+#include "poly/basis.hpp"
+#include "util/check.hpp"
+
+namespace scs {
+
+std::uint64_t scenario_sample_count(double eps, double eta,
+                                    std::size_t kappa) {
+  SCS_REQUIRE(eps > 0.0 && eps < 1.0, "scenario_sample_count: bad eps");
+  SCS_REQUIRE(eta > 0.0 && eta < 1.0, "scenario_sample_count: bad eta");
+  const double k =
+      (2.0 / eps) * (std::log(1.0 / eta) + static_cast<double>(kappa));
+  return static_cast<std::uint64_t>(std::ceil(k));
+}
+
+std::size_t pac_template_kappa(std::size_t num_vars, int degree) {
+  return static_cast<std::size_t>(monomial_count(num_vars, degree)) + 1;
+}
+
+double scenario_eps_for_samples(std::uint64_t samples, double eta,
+                                std::size_t kappa) {
+  SCS_REQUIRE(samples > 0, "scenario_eps_for_samples: need samples > 0");
+  SCS_REQUIRE(eta > 0.0 && eta < 1.0, "scenario_eps_for_samples: bad eta");
+  return (2.0 / static_cast<double>(samples)) *
+         (std::log(1.0 / eta) + static_cast<double>(kappa));
+}
+
+}  // namespace scs

@@ -1,0 +1,25 @@
+// Scenario-optimization sample bounds (Section 2.2, Theorems 2-3).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace scs {
+
+/// Theorem 2/3 sample count: the least K with
+///     eps >= (2/K) * (ln(1/eta) + kappa),
+/// i.e. K = ceil( (2/eps) * (ln(1/eta) + kappa) ).
+/// For the polynomial template of degree d over n variables,
+/// kappa = C(n+d, d) + 1 (coefficients plus the error variable e).
+std::uint64_t scenario_sample_count(double eps, double eta, std::size_t kappa);
+
+/// kappa for a degree-d polynomial template over n variables.
+std::size_t pac_template_kappa(std::size_t num_vars, int degree);
+
+/// The achievable error rate for a given sample count (inverse of the
+/// bound): eps(K) = (2/K) * (ln(1/eta) + kappa). Used when the sample count
+/// is capped in fast mode.
+double scenario_eps_for_samples(std::uint64_t samples, double eta,
+                                std::size_t kappa);
+
+}  // namespace scs

@@ -1,0 +1,87 @@
+#include "poly/basis.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace scs {
+
+std::uint64_t monomial_count(std::size_t num_vars, int degree) {
+  SCS_REQUIRE(degree >= 0, "monomial_count: degree must be >= 0");
+  // C(n+d, d) computed incrementally to avoid overflow for the sizes we use.
+  std::uint64_t c = 1;
+  for (int i = 1; i <= degree; ++i) {
+    c = c * (num_vars + static_cast<std::uint64_t>(i)) /
+        static_cast<std::uint64_t>(i);
+  }
+  return c;
+}
+
+namespace {
+// Recursively enumerate exponent vectors with total degree exactly d,
+// assigning the first variable the largest exponent first so that the
+// resulting order within a degree matches GrlexLess (lexicographically
+// greater exponent vectors first).
+void enumerate_degree(std::size_t var, int remaining, std::vector<int>& cur,
+                      std::vector<Monomial>& out) {
+  if (var + 1 == cur.size()) {
+    cur[var] = remaining;
+    out.emplace_back(cur);
+    cur[var] = 0;
+    return;
+  }
+  for (int e = remaining; e >= 0; --e) {
+    cur[var] = e;
+    enumerate_degree(var + 1, remaining - e, cur, out);
+  }
+  cur[var] = 0;
+}
+}  // namespace
+
+std::vector<Monomial> monomials_of_degree(std::size_t num_vars, int degree) {
+  SCS_REQUIRE(num_vars > 0, "monomials_of_degree: need at least one variable");
+  SCS_REQUIRE(degree >= 0, "monomials_of_degree: degree must be >= 0");
+  std::vector<Monomial> out;
+  std::vector<int> cur(num_vars, 0);
+  enumerate_degree(0, degree, cur, out);
+  return out;
+}
+
+std::vector<Monomial> monomials_up_to(std::size_t num_vars, int degree) {
+  std::vector<Monomial> out;
+  out.reserve(monomial_count(num_vars, degree));
+  for (int d = 0; d <= degree; ++d) {
+    auto level = monomials_of_degree(num_vars, d);
+    out.insert(out.end(), level.begin(), level.end());
+  }
+  return out;
+}
+
+Vec evaluate_basis(const std::vector<Monomial>& basis, const Vec& x) {
+  if (basis.empty()) return Vec();
+  const std::size_t n = basis.front().num_vars();
+  SCS_REQUIRE(x.size() == n, "evaluate_basis: point dimension mismatch");
+  int max_deg = 0;
+  for (const auto& m : basis) max_deg = std::max(max_deg, m.degree());
+
+  // Power table: powers[i][k] = x_i^k.
+  std::vector<std::vector<double>> powers(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    powers[i].resize(static_cast<std::size_t>(max_deg) + 1);
+    powers[i][0] = 1.0;
+    for (int k = 1; k <= max_deg; ++k) powers[i][k] = powers[i][k - 1] * x[i];
+  }
+
+  Vec out(basis.size());
+  for (std::size_t j = 0; j < basis.size(); ++j) {
+    double acc = 1.0;
+    const auto& e = basis[j].exponents();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (e[i] != 0) acc *= powers[i][e[i]];
+    }
+    out[j] = acc;
+  }
+  return out;
+}
+
+}  // namespace scs

@@ -1,0 +1,27 @@
+// Enumeration of monomial bases [x]_d in graded lexicographic order, plus
+// fast batch evaluation (design-matrix rows for the scenario LP).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "math/vec.hpp"
+#include "poly/monomial.hpp"
+
+namespace scs {
+
+/// Number of monomials of degree <= d in n variables: C(n+d, d).
+std::uint64_t monomial_count(std::size_t num_vars, int degree);
+
+/// All monomials with total degree <= d, in graded lex order (the paper's
+/// [x]_d: 1, x1, x2, ..., x1^2, x1 x2, ...).
+std::vector<Monomial> monomials_up_to(std::size_t num_vars, int degree);
+
+/// All monomials with total degree exactly d, in graded lex order.
+std::vector<Monomial> monomials_of_degree(std::size_t num_vars, int degree);
+
+/// Evaluate every basis monomial at x. Precomputes per-variable power tables,
+/// so evaluating a full degree-d basis costs O(v * n) multiplies.
+Vec evaluate_basis(const std::vector<Monomial>& basis, const Vec& x);
+
+}  // namespace scs

@@ -1,0 +1,54 @@
+#include "poly/lie.hpp"
+
+#include "util/check.hpp"
+
+namespace scs {
+
+Polynomial lie_derivative(const Polynomial& b,
+                          const std::vector<Polynomial>& field) {
+  SCS_REQUIRE(field.size() == b.num_vars(),
+              "lie_derivative: field dimension must equal variable count");
+  Polynomial out(b.num_vars());
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    SCS_REQUIRE(field[i].num_vars() == b.num_vars(),
+                "lie_derivative: field component variable count mismatch");
+    out += b.derivative(i) * field[i];
+  }
+  return out;
+}
+
+std::vector<Polynomial> close_loop(const std::vector<Polynomial>& open_field,
+                                   std::size_t num_states,
+                                   const std::vector<Polynomial>& controller) {
+  SCS_REQUIRE(open_field.size() == num_states,
+              "close_loop: field must have one component per state");
+  SCS_REQUIRE(!open_field.empty(), "close_loop: empty field");
+  const std::size_t total_vars = open_field.front().num_vars();
+  SCS_REQUIRE(total_vars >= num_states, "close_loop: fewer vars than states");
+  const std::size_t num_controls = total_vars - num_states;
+  SCS_REQUIRE(controller.size() == num_controls,
+              "close_loop: controller count must equal control count");
+
+  // Lift the controllers into the (x, u) variable space.
+  std::vector<Polynomial> lifted;
+  lifted.reserve(num_controls);
+  for (const auto& p : controller) {
+    SCS_REQUIRE(p.num_vars() == num_states,
+                "close_loop: controller must be over the state variables");
+    lifted.push_back(p.extend_vars(num_controls));
+  }
+
+  std::vector<Polynomial> closed;
+  closed.reserve(num_states);
+  for (const auto& fi : open_field) {
+    SCS_REQUIRE(fi.num_vars() == total_vars,
+                "close_loop: inconsistent field variable counts");
+    Polynomial g = fi;
+    for (std::size_t k = 0; k < num_controls; ++k)
+      g = g.substitute(num_states + k, lifted[k]);
+    closed.push_back(g.drop_trailing_vars(num_controls));
+  }
+  return closed;
+}
+
+}  // namespace scs

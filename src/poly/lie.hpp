@@ -1,0 +1,22 @@
+// Lie derivatives and closed-loop vector-field composition (Section 2.1).
+#pragma once
+
+#include <vector>
+
+#include "poly/polynomial.hpp"
+
+namespace scs {
+
+/// Lie derivative of B along the polynomial vector field f:
+/// L_f B = sum_i dB/dx_i * f_i. All polynomials are over the same n vars.
+Polynomial lie_derivative(const Polynomial& b,
+                          const std::vector<Polynomial>& field);
+
+/// Close the loop: given f(x, u) over n + m variables (states first, then
+/// controls) and m controller polynomials p_k(x) over n variables, substitute
+/// u_k = p_k(x) and return the n closed-loop field components over n vars.
+std::vector<Polynomial> close_loop(const std::vector<Polynomial>& open_field,
+                                   std::size_t num_states,
+                                   const std::vector<Polynomial>& controller);
+
+}  // namespace scs

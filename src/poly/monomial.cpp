@@ -1,0 +1,87 @@
+#include "poly/monomial.hpp"
+
+#include <numeric>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace scs {
+
+Monomial::Monomial(std::size_t num_vars) : exps_(num_vars, 0) {}
+
+Monomial::Monomial(std::vector<int> exponents) : exps_(std::move(exponents)) {
+  for (int e : exps_) SCS_REQUIRE(e >= 0, "Monomial: negative exponent");
+}
+
+Monomial Monomial::variable(std::size_t num_vars, std::size_t i) {
+  SCS_REQUIRE(i < num_vars, "Monomial::variable: index out of range");
+  std::vector<int> e(num_vars, 0);
+  e[i] = 1;
+  return Monomial(std::move(e));
+}
+
+int Monomial::degree() const {
+  return std::accumulate(exps_.begin(), exps_.end(), 0);
+}
+
+Monomial Monomial::operator*(const Monomial& rhs) const {
+  SCS_REQUIRE(num_vars() == rhs.num_vars(),
+              "Monomial::operator*: variable count mismatch");
+  std::vector<int> e(exps_);
+  for (std::size_t i = 0; i < e.size(); ++i) e[i] += rhs.exps_[i];
+  return Monomial(std::move(e));
+}
+
+std::pair<int, Monomial> Monomial::derivative(std::size_t var) const {
+  SCS_REQUIRE(var < num_vars(), "Monomial::derivative: index out of range");
+  if (exps_[var] == 0) return {0, Monomial(num_vars())};
+  std::vector<int> e(exps_);
+  const int k = e[var];
+  e[var] = k - 1;
+  return {k, Monomial(std::move(e))};
+}
+
+double Monomial::evaluate(const Vec& x) const {
+  SCS_REQUIRE(x.size() == num_vars(), "Monomial::evaluate: size mismatch");
+  double acc = 1.0;
+  for (std::size_t i = 0; i < exps_.size(); ++i) {
+    if (exps_[i] != 0) acc *= pow_int(x[i], exps_[i]);
+  }
+  return acc;
+}
+
+std::string Monomial::to_string() const {
+  if (is_constant()) return "1";
+  std::ostringstream os;
+  bool first = true;
+  for (std::size_t i = 0; i < exps_.size(); ++i) {
+    if (exps_[i] == 0) continue;
+    if (!first) os << '*';
+    first = false;
+    os << 'x' << (i + 1);
+    if (exps_[i] > 1) os << '^' << exps_[i];
+  }
+  return os.str();
+}
+
+bool GrlexLess::operator()(const Monomial& a, const Monomial& b) const {
+  const int da = a.degree();
+  const int db = b.degree();
+  if (da != db) return da < db;
+  // Same degree: lexicographically greater exponent vector comes first.
+  return a.exponents() > b.exponents();
+}
+
+double pow_int(double base, int exp) {
+  double acc = 1.0;
+  double b = base;
+  int e = exp;
+  while (e > 0) {
+    if (e & 1) acc *= b;
+    b *= b;
+    e >>= 1;
+  }
+  return acc;
+}
+
+}  // namespace scs

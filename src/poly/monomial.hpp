@@ -1,0 +1,60 @@
+// Monomials x^alpha over a fixed number of variables, with the graded
+// lexicographic ordering the paper uses for the template vector [x]_d.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "math/vec.hpp"
+
+namespace scs {
+
+/// A monomial x1^a1 ... xn^an, represented by its exponent vector.
+class Monomial {
+ public:
+  Monomial() = default;
+  /// The constant monomial 1 over n variables.
+  explicit Monomial(std::size_t num_vars);
+  explicit Monomial(std::vector<int> exponents);
+
+  /// x_i over n variables (i is 0-based).
+  static Monomial variable(std::size_t num_vars, std::size_t i);
+
+  std::size_t num_vars() const { return exps_.size(); }
+  int exponent(std::size_t i) const { return exps_[i]; }
+  const std::vector<int>& exponents() const { return exps_; }
+
+  int degree() const;
+  bool is_constant() const { return degree() == 0; }
+
+  /// Product of two monomials over the same variable set.
+  Monomial operator*(const Monomial& rhs) const;
+
+  /// Partial derivative: returns {scale, monomial}; scale 0 for a variable
+  /// that does not occur.
+  std::pair<int, Monomial> derivative(std::size_t var) const;
+
+  double evaluate(const Vec& x) const;
+
+  bool operator==(const Monomial& rhs) const { return exps_ == rhs.exps_; }
+  bool operator!=(const Monomial& rhs) const { return exps_ != rhs.exps_; }
+
+  /// Human-readable form, e.g. "x1^2*x3".
+  std::string to_string() const;
+
+ private:
+  std::vector<int> exps_;
+};
+
+/// Graded lexicographic "less": lower total degree first; within equal
+/// degree, the lexicographically greater exponent vector first (so that
+/// x1^2 < x1 x2 < x2^2 in iteration order), matching the paper's [x]_d.
+struct GrlexLess {
+  bool operator()(const Monomial& a, const Monomial& b) const;
+};
+
+/// Integer power (exponents in this project are small non-negative ints).
+double pow_int(double base, int exp);
+
+}  // namespace scs

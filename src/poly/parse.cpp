@@ -1,0 +1,148 @@
+#include "poly/parse.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace scs {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::size_t num_vars)
+      : text_(text), num_vars_(num_vars) {}
+
+  Polynomial parse() {
+    Polynomial p = expr();
+    skip_ws();
+    SCS_REQUIRE(pos_ == text_.size(),
+                "parse_polynomial: trailing characters at position " +
+                    std::to_string(pos_));
+    return p;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(
+                                      text_[pos_])))
+      ++pos_;
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  Polynomial expr() {
+    // Leading sign.
+    double sign = 1.0;
+    while (true) {
+      if (eat('+')) continue;
+      if (eat('-')) {
+        sign = -sign;
+        continue;
+      }
+      break;
+    }
+    Polynomial acc = term() * sign;
+    while (true) {
+      if (eat('+')) {
+        acc += term();
+      } else if (eat('-')) {
+        acc -= term();
+      } else {
+        break;
+      }
+    }
+    return acc;
+  }
+
+  Polynomial term() {
+    Polynomial acc = factor();
+    while (eat('*')) acc = acc * factor();
+    return acc;
+  }
+
+  Polynomial factor() {
+    Polynomial base_poly = base();
+    if (eat('^')) {
+      const int e = parse_uint("exponent");
+      return base_poly.pow(e);
+    }
+    return base_poly;
+  }
+
+  Polynomial base() {
+    const char c = peek();
+    if (c == '(') {
+      eat('(');
+      Polynomial p = expr();
+      SCS_REQUIRE(eat(')'), "parse_polynomial: expected ')'");
+      return p;
+    }
+    if (c == 'x' || c == 'X') {
+      ++pos_;
+      const int idx = parse_uint("variable index");
+      SCS_REQUIRE(idx >= 1 && static_cast<std::size_t>(idx) <= num_vars_,
+                  "parse_polynomial: variable index out of range: x" +
+                      std::to_string(idx));
+      return Polynomial::variable(num_vars_,
+                                  static_cast<std::size_t>(idx - 1));
+    }
+    if (c == '-') {  // unary minus inside a term, e.g. "2*-3" is rejected,
+                     // but "(-3)" parses through expr.
+      SCS_REQUIRE(false, "parse_polynomial: unexpected '-' inside a term");
+    }
+    return Polynomial::constant(num_vars_, parse_number());
+  }
+
+  int parse_uint(const char* what) {
+    skip_ws();
+    SCS_REQUIRE(pos_ < text_.size() &&
+                    std::isdigit(static_cast<unsigned char>(text_[pos_])),
+                std::string("parse_polynomial: expected ") + what);
+    int v = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      v = v * 10 + (text_[pos_] - '0');
+      ++pos_;
+    }
+    return v;
+  }
+
+  double parse_number() {
+    skip_ws();
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    SCS_REQUIRE(end != start,
+                "parse_polynomial: expected a number at position " +
+                    std::to_string(pos_));
+    pos_ += static_cast<std::size_t>(end - start);
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t num_vars_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Polynomial parse_polynomial(const std::string& text, std::size_t num_vars) {
+  SCS_REQUIRE(num_vars > 0, "parse_polynomial: need at least one variable");
+  return Parser(text, num_vars).parse();
+}
+
+}  // namespace scs

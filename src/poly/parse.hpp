@@ -1,0 +1,23 @@
+// Parsing polynomials from text, e.g. "-0.056*x1^5 + 1.56*x1^3 - 9.875*x1".
+//
+// Grammar (variables are x1..xn, 1-based as in the paper):
+//   expr   := ['+'|'-'] term (('+'|'-') term)*
+//   term   := factor ('*' factor)*
+//   factor := base ('^' uint)?
+//   base   := number | 'x' uint | '(' expr ')'
+//
+// Used by examples/tools to read dynamics and by round-trip tests against
+// Polynomial::to_string.
+#pragma once
+
+#include <string>
+
+#include "poly/polynomial.hpp"
+
+namespace scs {
+
+/// Parse over a fixed variable count; throws PreconditionError on syntax
+/// errors or variable indices out of range.
+Polynomial parse_polynomial(const std::string& text, std::size_t num_vars);
+
+}  // namespace scs

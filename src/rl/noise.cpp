@@ -1,0 +1,30 @@
+#include "rl/noise.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace scs {
+
+OuNoise::OuNoise(std::size_t dim, double theta, double sigma, double dt)
+    : theta_(theta), sigma_(sigma), dt_(dt), state_(dim, 0.0) {
+  SCS_REQUIRE(dim > 0, "OuNoise: dimension must be positive");
+  SCS_REQUIRE(theta >= 0.0 && sigma >= 0.0 && dt > 0.0,
+              "OuNoise: invalid parameters");
+}
+
+void OuNoise::reset() { state_.fill(0.0); }
+
+Vec OuNoise::sample(Rng& rng) {
+  const double sq = std::sqrt(dt_);
+  for (std::size_t i = 0; i < state_.size(); ++i)
+    state_[i] += -theta_ * state_[i] * dt_ + sigma_ * sq * rng.normal();
+  return state_;
+}
+
+void OuNoise::set_sigma(double sigma) {
+  SCS_REQUIRE(sigma >= 0.0, "OuNoise: sigma must be >= 0");
+  sigma_ = sigma;
+}
+
+}  // namespace scs

@@ -1,0 +1,31 @@
+// Ornstein-Uhlenbeck exploration noise, the standard choice for DDPG [14].
+#pragma once
+
+#include "math/vec.hpp"
+#include "util/rng.hpp"
+
+namespace scs {
+
+class OuNoise {
+ public:
+  OuNoise(std::size_t dim, double theta = 0.15, double sigma = 0.2,
+          double dt = 1.0);
+
+  /// Reset the process state to zero (start of an episode).
+  void reset();
+
+  /// Advance the process and return the current noise vector.
+  Vec sample(Rng& rng);
+
+  /// Scale the volatility (for exploration decay schedules).
+  void set_sigma(double sigma);
+  double sigma() const { return sigma_; }
+
+ private:
+  double theta_;
+  double sigma_;
+  double dt_;
+  Vec state_;
+};
+
+}  // namespace scs

@@ -1,0 +1,31 @@
+#include "rl/replay.hpp"
+
+#include "util/check.hpp"
+
+namespace scs {
+
+ReplayBuffer::ReplayBuffer(std::size_t capacity) : capacity_(capacity) {
+  SCS_REQUIRE(capacity > 0, "ReplayBuffer: capacity must be positive");
+  storage_.reserve(capacity);
+}
+
+void ReplayBuffer::add(Transition t) {
+  if (storage_.size() < capacity_) {
+    storage_.push_back(std::move(t));
+  } else {
+    storage_[next_] = std::move(t);
+    next_ = (next_ + 1) % capacity_;
+  }
+}
+
+std::vector<const Transition*> ReplayBuffer::sample(std::size_t batch,
+                                                    Rng& rng) const {
+  SCS_REQUIRE(!storage_.empty(), "ReplayBuffer::sample: buffer is empty");
+  std::vector<const Transition*> out;
+  out.reserve(batch);
+  for (std::size_t i = 0; i < batch; ++i)
+    out.push_back(&storage_[rng.index(storage_.size())]);
+  return out;
+}
+
+}  // namespace scs

@@ -1,0 +1,42 @@
+// Experience replay buffer for DDPG (Section 3.1: transition tuples
+// (x_t, u_t, r_t, x_{t+1}) collected from simulated trajectories).
+#pragma once
+
+#include <vector>
+
+#include "math/vec.hpp"
+#include "util/rng.hpp"
+
+namespace scs {
+
+struct Transition {
+  Vec state;
+  Vec action;  // normalized action in [-1, 1]^m
+  double reward = 0.0;
+  Vec next_state;
+  bool done = false;  // episode terminated at next_state
+};
+
+/// Fixed-capacity ring buffer with uniform minibatch sampling.
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(std::size_t capacity);
+
+  void add(Transition t);
+
+  std::size_t size() const { return storage_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return storage_.empty(); }
+
+  /// Uniform sample of `batch` transitions (with replacement).
+  std::vector<const Transition*> sample(std::size_t batch, Rng& rng) const;
+
+  const Transition& operator[](std::size_t i) const { return storage_[i]; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t next_ = 0;  // ring insertion point once full
+  std::vector<Transition> storage_;
+};
+
+}  // namespace scs

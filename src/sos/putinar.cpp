@@ -1,0 +1,61 @@
+#include "sos/putinar.hpp"
+
+#include <algorithm>
+
+#include "poly/basis.hpp"
+#include "sos/sos_program.hpp"
+#include "util/check.hpp"
+
+namespace scs {
+
+std::optional<PutinarCertificate> certify_nonnegativity(
+    const Polynomial& f, const std::vector<Polynomial>& constraints,
+    const PutinarOptions& options) {
+  const std::size_t n = f.num_vars();
+  SCS_REQUIRE(n > 0, "certify_nonnegativity: zero-variable polynomial");
+  for (const auto& g : constraints)
+    SCS_REQUIRE(g.num_vars() == n,
+                "certify_nonnegativity: constraint variable count mismatch");
+
+  int degree = options.certificate_degree;
+  if (degree <= 0) {
+    degree = std::max(2, f.degree());
+    for (const auto& g : constraints)
+      degree = std::max(degree, g.degree() + 2);
+  }
+  if (degree % 2 != 0) ++degree;
+
+  SosProgram prog(n);
+  const Polynomial one = Polynomial::constant(n, 1.0);
+  const Polynomial target =
+      f - Polynomial::constant(n, options.margin);
+
+  // target - sigma0 - sum sigma_i g_i == 0.
+  std::vector<SosProgram::Term> terms;
+  const auto s0 = prog.add_sos_poly(monomials_up_to(n, degree / 2));
+  terms.push_back({-one, s0, {}});
+  std::vector<SosProgram::PolyVar> multiplier_vars;
+  for (const auto& g : constraints) {
+    const int gd = std::max(0, (degree - g.degree()) / 2);
+    const auto sigma = prog.add_sos_poly(monomials_up_to(n, gd));
+    multiplier_vars.push_back(sigma);
+    terms.push_back({-g, sigma, {}});
+  }
+  prog.add_identity(target, std::move(terms));
+
+  const auto result =
+      prog.solve(options.sdp, options.identity_tol, options.gram_tol);
+  if (!result.feasible) return std::nullopt;
+
+  PutinarCertificate cert;
+  cert.sigma0 = result.value(s0);
+  for (const auto& v : multiplier_vars)
+    cert.multipliers.push_back(result.value(v));
+  cert.margin = options.margin;
+  cert.identity_residual = result.identity_residuals.empty()
+                               ? 0.0
+                               : result.identity_residuals.front();
+  return cert;
+}
+
+}  // namespace scs

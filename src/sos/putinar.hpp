@@ -1,0 +1,45 @@
+// General Putinar positivity certification: prove f(x) >= margin on a
+// basic semialgebraic set K = {g_i >= 0} by finding SOS multipliers with
+//
+//   f - margin = sigma_0 + sum_i sigma_i g_i        (identity (11)).
+//
+// This is the reusable core of the barrier program's three conditions and
+// a convenient public entry point ("is this polynomial nonnegative on this
+// set?") for library users.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "opt/sdp.hpp"
+#include "poly/polynomial.hpp"
+
+namespace scs {
+
+struct PutinarOptions {
+  /// Degree of the SOS residual sigma_0 (rounded up to even internally);
+  /// 0 = choose automatically from deg(f) and the g_i.
+  int certificate_degree = 0;
+  double margin = 0.0;  // prove f >= margin
+  SdpOptions sdp;
+  double identity_tol = 1e-5;
+  double gram_tol = 1e-6;
+};
+
+struct PutinarCertificate {
+  Polynomial sigma0;
+  std::vector<Polynomial> multipliers;  // one per constraint g_i
+  double margin = 0.0;
+  /// Max |coefficient| of f - margin - sigma0 - sum sigma_i g_i.
+  double identity_residual = 0.0;
+};
+
+/// Attempt to certify f >= margin on {x | g_i(x) >= 0 for all i}.
+/// Returns std::nullopt when no certificate of the chosen degree is found
+/// (which does NOT prove f dips below the margin).
+std::optional<PutinarCertificate> certify_nonnegativity(
+    const Polynomial& f, const std::vector<Polynomial>& constraints,
+    const PutinarOptions& options = {});
+
+}  // namespace scs

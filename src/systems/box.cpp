@@ -1,0 +1,82 @@
+#include "systems/box.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace scs {
+
+Box::Box(Vec lower, Vec upper) : lo(std::move(lower)), hi(std::move(upper)) {
+  SCS_REQUIRE(lo.size() == hi.size(), "Box: bound dimension mismatch");
+  for (std::size_t i = 0; i < lo.size(); ++i)
+    SCS_REQUIRE(lo[i] <= hi[i], "Box: lower bound exceeds upper bound");
+}
+
+Box Box::centered(std::size_t dim, double half_width) {
+  SCS_REQUIRE(half_width >= 0.0, "Box::centered: negative half width");
+  return Box(Vec(dim, -half_width), Vec(dim, half_width));
+}
+
+bool Box::contains(const Vec& x, double slack) const {
+  SCS_REQUIRE(x.size() == dim(), "Box::contains: dimension mismatch");
+  for (std::size_t i = 0; i < dim(); ++i)
+    if (x[i] < lo[i] - slack || x[i] > hi[i] + slack) return false;
+  return true;
+}
+
+Vec Box::sample(Rng& rng) const {
+  Vec x(dim());
+  for (std::size_t i = 0; i < dim(); ++i) x[i] = rng.uniform(lo[i], hi[i]);
+  return x;
+}
+
+Vec Box::clamp(const Vec& x) const {
+  SCS_REQUIRE(x.size() == dim(), "Box::clamp: dimension mismatch");
+  Vec out(x);
+  for (std::size_t i = 0; i < dim(); ++i)
+    out[i] = std::min(std::max(out[i], lo[i]), hi[i]);
+  return out;
+}
+
+Vec Box::center() const {
+  Vec c(dim());
+  for (std::size_t i = 0; i < dim(); ++i) c[i] = 0.5 * (lo[i] + hi[i]);
+  return c;
+}
+
+Vec Box::widths() const {
+  Vec w(dim());
+  for (std::size_t i = 0; i < dim(); ++i) w[i] = hi[i] - lo[i];
+  return w;
+}
+
+std::vector<Vec> Box::grid(std::size_t per_dim) const {
+  SCS_REQUIRE(per_dim >= 2, "Box::grid: need at least two points per axis");
+  const std::size_t n = dim();
+  std::size_t total = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    SCS_REQUIRE(total < (std::size_t{1} << 40) / per_dim,
+                "Box::grid: grid too large");
+    total *= per_dim;
+  }
+  std::vector<Vec> points;
+  points.reserve(total);
+  std::vector<std::size_t> idx(n, 0);
+  for (std::size_t k = 0; k < total; ++k) {
+    Vec x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double t =
+          static_cast<double>(idx[i]) / static_cast<double>(per_dim - 1);
+      x[i] = lo[i] + t * (hi[i] - lo[i]);
+    }
+    points.push_back(std::move(x));
+    // Odometer increment.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (++idx[i] < per_dim) break;
+      idx[i] = 0;
+    }
+  }
+  return points;
+}
+
+}  // namespace scs

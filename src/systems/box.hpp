@@ -1,0 +1,38 @@
+// Axis-aligned boxes: sampling domains and state-space bounds.
+#pragma once
+
+#include "math/vec.hpp"
+#include "util/rng.hpp"
+
+namespace scs {
+
+/// A (compact) axis-aligned box [lo_1, hi_1] x ... x [lo_n, hi_n].
+struct Box {
+  Vec lo;
+  Vec hi;
+
+  Box() = default;
+  Box(Vec lower, Vec upper);
+
+  /// Symmetric cube [-half_width, half_width]^n.
+  static Box centered(std::size_t dim, double half_width);
+
+  std::size_t dim() const { return lo.size(); }
+
+  bool contains(const Vec& x, double slack = 0.0) const;
+
+  /// Uniform sample from the box.
+  Vec sample(Rng& rng) const;
+
+  /// Clamp a point into the box componentwise.
+  Vec clamp(const Vec& x) const;
+
+  Vec center() const;
+  Vec widths() const;
+
+  /// Uniform grid with `per_dim` points per axis (inclusive endpoints).
+  /// Total size is per_dim^dim -- callers must keep dim small.
+  std::vector<Vec> grid(std::size_t per_dim) const;
+};
+
+}  // namespace scs

@@ -1,0 +1,71 @@
+#include "systems/ccds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace scs {
+
+int Ccds::field_degree() const {
+  int d = 0;
+  for (const auto& f : open_field) d = std::max(d, f.degree());
+  return d;
+}
+
+std::vector<Polynomial> Ccds::closed_loop(
+    const std::vector<Polynomial>& controller) const {
+  return close_loop(open_field, num_states, controller);
+}
+
+VectorField Ccds::closed_loop_field(const ControlLaw& law) const {
+  const double bound = control_bound;
+  const std::size_t m = num_controls;
+  // Copy the pieces needed so the returned lambda is self-contained.
+  const auto field = open_field;
+  const std::size_t n = num_states;
+  return [field, law, bound, n, m](const Vec& x) {
+    Vec u = law(x);
+    SCS_ASSERT(u.size() == m, "closed_loop_field: control dimension mismatch");
+    for (auto& v : u) v = std::clamp(v, -bound, bound);
+    const Vec z = concat(x, u);
+    Vec dx(n);
+    for (std::size_t i = 0; i < n; ++i) dx[i] = field[i].evaluate(z);
+    return dx;
+  };
+}
+
+VectorField Ccds::closed_loop_field(
+    const std::vector<Polynomial>& controller) const {
+  const auto closed = closed_loop(controller);
+  return [closed](const Vec& x) {
+    Vec dx(closed.size());
+    for (std::size_t i = 0; i < closed.size(); ++i) dx[i] = closed[i].evaluate(x);
+    return dx;
+  };
+}
+
+Vec Ccds::eval_open(const Vec& x, const Vec& u) const {
+  SCS_REQUIRE(x.size() == num_states && u.size() == num_controls,
+              "Ccds::eval_open: dimension mismatch");
+  const Vec z = concat(x, u);
+  Vec dx(num_states);
+  for (std::size_t i = 0; i < num_states; ++i)
+    dx[i] = open_field[i].evaluate(z);
+  return dx;
+}
+
+void Ccds::validate() const {
+  SCS_REQUIRE(num_states > 0, "Ccds: need at least one state");
+  SCS_REQUIRE(open_field.size() == num_states,
+              "Ccds: field must have one component per state");
+  for (const auto& f : open_field)
+    SCS_REQUIRE(f.num_vars() == num_states + num_controls,
+                "Ccds: field components must be over n + m variables");
+  SCS_REQUIRE(init_set.dim() == num_states, "Ccds: Theta dimension mismatch");
+  SCS_REQUIRE(domain.dim() == num_states, "Ccds: Psi dimension mismatch");
+  SCS_REQUIRE(unsafe_set.dim() == num_states, "Ccds: X_u dimension mismatch");
+  SCS_REQUIRE(control_bound > 0.0, "Ccds: control bound must be positive");
+}
+
+}  // namespace scs

@@ -1,0 +1,61 @@
+// Controlled constrained continuous dynamical systems (Definition 1/2):
+// C = (f, Psi, Theta) plus the unsafe region X_u and actuator limits.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ode/integrator.hpp"
+#include "poly/lie.hpp"
+#include "poly/polynomial.hpp"
+#include "systems/semialgebraic.hpp"
+
+namespace scs {
+
+/// State-feedback control law u = pi(x) in evaluatable (not necessarily
+/// polynomial) form; returns an m-vector.
+using ControlLaw = std::function<Vec(const Vec&)>;
+
+/// A controlled CCDS with safety data. The open-loop field components are
+/// polynomials over n + m variables: states x_1..x_n first, controls
+/// u_1..u_m after them.
+struct Ccds {
+  std::string name;
+  std::size_t num_states = 0;
+  std::size_t num_controls = 0;
+  std::vector<Polynomial> open_field;  // n components over n + m vars
+
+  SemialgebraicSet init_set;    // Theta
+  SemialgebraicSet domain;      // Psi
+  SemialgebraicSet unsafe_set;  // X_u
+
+  /// Actuator limit |u_k| <= control_bound (the RL actor's tanh output is
+  /// scaled by this).
+  double control_bound = 1.0;
+
+  /// Maximum degree of the open-loop field in the state variables.
+  int field_degree() const;
+
+  /// Substitute polynomial controllers u_k = p_k(x): closed-loop field in
+  /// R[x]^n.
+  std::vector<Polynomial> closed_loop(
+      const std::vector<Polynomial>& controller) const;
+
+  /// Closed-loop vector field with an arbitrary (e.g. DNN) control law,
+  /// clamping actions to the actuator limit.
+  VectorField closed_loop_field(const ControlLaw& law) const;
+
+  /// Closed-loop field for a polynomial controller (evaluated numerically,
+  /// unclamped -- matches what the barrier certificate verifies).
+  VectorField closed_loop_field(const std::vector<Polynomial>& controller)
+      const;
+
+  /// Evaluate the open-loop field at (x, u).
+  Vec eval_open(const Vec& x, const Vec& u) const;
+
+  /// Sanity checks: component counts, variable counts, set dimensions.
+  void validate() const;
+};
+
+}  // namespace scs

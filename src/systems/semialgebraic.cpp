@@ -1,0 +1,147 @@
+#include "systems/semialgebraic.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace scs {
+
+namespace {
+/// ||x - c||^2 as a polynomial over dim(c) variables.
+Polynomial squared_distance_poly(const Vec& center) {
+  const std::size_t n = center.size();
+  Polynomial p(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Polynomial xi = Polynomial::variable(n, i) -
+                          Polynomial::constant(n, center[i]);
+    p += xi * xi;
+  }
+  return p;
+}
+}  // namespace
+
+SemialgebraicSet::SemialgebraicSet(std::vector<Polynomial> inequalities,
+                                   Box sampling_box)
+    : ineqs_(std::move(inequalities)), box_(std::move(sampling_box)) {
+  for (const auto& g : ineqs_)
+    SCS_REQUIRE(g.num_vars() == box_.dim(),
+                "SemialgebraicSet: inequality variable count mismatch");
+}
+
+SemialgebraicSet SemialgebraicSet::from_box(const Box& box) {
+  const std::size_t n = box.dim();
+  std::vector<Polynomial> ineqs;
+  ineqs.reserve(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // x_i - lo_i >= 0 and hi_i - x_i >= 0.
+    ineqs.push_back(Polynomial::variable(n, i) -
+                    Polynomial::constant(n, box.lo[i]));
+    ineqs.push_back(Polynomial::constant(n, box.hi[i]) -
+                    Polynomial::variable(n, i));
+  }
+  SemialgebraicSet set(std::move(ineqs), box);
+  const Box b = box;
+  set.set_distance([b](const Vec& x) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < b.dim(); ++i) {
+      const double below = b.lo[i] - x[i];
+      const double above = x[i] - b.hi[i];
+      const double d = std::max({below, above, 0.0});
+      acc += d * d;
+    }
+    return std::sqrt(acc);
+  });
+  return set;
+}
+
+SemialgebraicSet SemialgebraicSet::ball(const Vec& center, double radius) {
+  SCS_REQUIRE(radius > 0.0, "SemialgebraicSet::ball: radius must be positive");
+  const std::size_t n = center.size();
+  std::vector<Polynomial> ineqs;
+  ineqs.push_back(Polynomial::constant(n, radius * radius) -
+                  squared_distance_poly(center));
+  Vec lo(center), hi(center);
+  for (std::size_t i = 0; i < n; ++i) {
+    lo[i] -= radius;
+    hi[i] += radius;
+  }
+  SemialgebraicSet set(std::move(ineqs), Box(lo, hi));
+  const Vec c = center;
+  const double r = radius;
+  set.set_distance([c, r](const Vec& x) {
+    Vec d = x;
+    d -= c;
+    return std::max(0.0, d.norm() - r);
+  });
+  return set;
+}
+
+SemialgebraicSet SemialgebraicSet::outside_ball(const Vec& center,
+                                                double radius,
+                                                const Box& within) {
+  SCS_REQUIRE(radius > 0.0,
+              "SemialgebraicSet::outside_ball: radius must be positive");
+  SCS_REQUIRE(within.dim() == center.size(),
+              "SemialgebraicSet::outside_ball: dimension mismatch");
+  const std::size_t n = center.size();
+  std::vector<Polynomial> ineqs;
+  ineqs.push_back(squared_distance_poly(center) -
+                  Polynomial::constant(n, radius * radius));
+  SemialgebraicSet set(std::move(ineqs), within);
+  const Vec c = center;
+  const double r = radius;
+  set.set_distance([c, r](const Vec& x) {
+    Vec d = x;
+    d -= c;
+    return std::max(0.0, r - d.norm());
+  });
+  return set;
+}
+
+bool SemialgebraicSet::contains(const Vec& x, double slack) const {
+  SCS_REQUIRE(x.size() == dim(), "SemialgebraicSet::contains: dim mismatch");
+  for (const auto& g : ineqs_)
+    if (g.evaluate(x) < -slack) return false;
+  return true;
+}
+
+Vec SemialgebraicSet::sample(Rng& rng, int max_attempts) const {
+  for (int i = 0; i < max_attempts; ++i) {
+    Vec x = box_.sample(rng);
+    if (contains(x)) return x;
+  }
+  throw PreconditionError(
+      "SemialgebraicSet::sample: rejection sampling failed; "
+      "the set may have negligible volume in its sampling box");
+}
+
+std::vector<Vec> SemialgebraicSet::sample_many(std::size_t k, Rng& rng) const {
+  std::vector<Vec> out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) out.push_back(sample(rng));
+  return out;
+}
+
+double SemialgebraicSet::distance_to(const Vec& x, Rng* rng) const {
+  if (distance_) return distance_(x);
+  if (contains(x)) return 0.0;
+  // Monte-Carlo fallback: closest of a batch of member samples. This is an
+  // upper bound on the true distance; adequate for reward shaping only.
+  Rng local(12345);
+  Rng& r = (rng != nullptr) ? *rng : local;
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < 256; ++i) {
+    Vec y;
+    try {
+      y = sample(r, 1000);
+    } catch (const PreconditionError&) {
+      break;
+    }
+    y -= x;
+    best = std::min(best, y.norm());
+  }
+  return std::isfinite(best) ? best : 0.0;
+}
+
+}  // namespace scs

@@ -1,0 +1,66 @@
+// Compact semialgebraic sets {x | g_i(x) >= 0} as used for the initial set
+// Theta, the domain Psi, and the unsafe region X_u (Section 2.1).
+//
+// Each set carries (a) its defining polynomial inequalities -- consumed by
+// the SOS multipliers in the barrier program (12) -- and (b) an enclosing
+// sampling box plus optional analytic distance function, consumed by the
+// RL reward (4) and the scenario sampler.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "poly/polynomial.hpp"
+#include "systems/box.hpp"
+
+namespace scs {
+
+/// dist(S, x): Euclidean distance from x to the set (0 when x is inside).
+using DistanceFn = std::function<double(const Vec&)>;
+
+class SemialgebraicSet {
+ public:
+  SemialgebraicSet() = default;
+  SemialgebraicSet(std::vector<Polynomial> inequalities, Box sampling_box);
+
+  /// The set {x | lo <= x <= hi}, encoded with two linear inequalities per
+  /// coordinate (kept linear so SOS multiplier degrees stay small).
+  static SemialgebraicSet from_box(const Box& box);
+
+  /// Closed ball {x | r^2 - ||x - c||^2 >= 0}.
+  static SemialgebraicSet ball(const Vec& center, double radius);
+
+  /// Complement shell {x | ||x - c||^2 - r^2 >= 0}, sampled within `within`.
+  static SemialgebraicSet outside_ball(const Vec& center, double radius,
+                                       const Box& within);
+
+  std::size_t dim() const { return box_.dim(); }
+  const std::vector<Polynomial>& inequalities() const { return ineqs_; }
+  const Box& sampling_box() const { return box_; }
+
+  /// Membership: all defining inequalities >= -slack.
+  bool contains(const Vec& x, double slack = 0.0) const;
+
+  /// Rejection-sample a point of the set (throws after max_attempts misses).
+  Vec sample(Rng& rng, int max_attempts = 100000) const;
+
+  /// Sample k points.
+  std::vector<Vec> sample_many(std::size_t k, Rng& rng) const;
+
+  /// Euclidean distance to the set; exact when an analytic distance was
+  /// installed (balls / shells), otherwise a sampled lower-bound estimate.
+  double distance_to(const Vec& x, Rng* rng = nullptr) const;
+
+  /// Install an analytic distance function.
+  void set_distance(DistanceFn fn) { distance_ = std::move(fn); }
+  bool has_analytic_distance() const { return static_cast<bool>(distance_); }
+
+ private:
+  std::vector<Polynomial> ineqs_;
+  Box box_;
+  DistanceFn distance_;
+};
+
+}  // namespace scs

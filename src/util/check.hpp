@@ -1,0 +1,58 @@
+// Lightweight runtime-checking macros used across the library.
+//
+// SCS_REQUIRE is for preconditions on public API arguments (always on);
+// SCS_ASSERT is for internal invariants (also always on -- the numerical
+// kernels here are small enough that the cost is negligible, and a silent
+// invariant violation in a solver is far more expensive than the check).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace scs {
+
+/// Error thrown when a public-API precondition is violated.
+class PreconditionError : public std::invalid_argument {
+ public:
+  explicit PreconditionError(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+/// Error thrown when an internal invariant is violated (a library bug or a
+/// numerically hopeless input).
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail_require(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw PreconditionError(os.str());
+}
+
+[[noreturn]] inline void fail_assert(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "internal invariant failed: (" << expr << ") at " << file << ":"
+     << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw InternalError(os.str());
+}
+}  // namespace detail
+
+}  // namespace scs
+
+#define SCS_REQUIRE(cond, msg)                                         \
+  do {                                                                 \
+    if (!(cond)) ::scs::detail::fail_require(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define SCS_ASSERT(cond, msg)                                          \
+  do {                                                                 \
+    if (!(cond)) ::scs::detail::fail_assert(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,38 @@
+#include "util/log.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+
+namespace scs {
+
+namespace {
+std::optional<LogLevel>& override_level() {
+  static std::optional<LogLevel> level;
+  return level;
+}
+
+LogLevel env_level() {
+  const char* env = std::getenv("SCS_LOG");
+  if (env == nullptr) return LogLevel::kSilent;
+  const int v = std::atoi(env);
+  if (v <= 0) return LogLevel::kSilent;
+  if (v == 1) return LogLevel::kInfo;
+  return LogLevel::kDebug;
+}
+}  // namespace
+
+LogLevel log_level() {
+  if (override_level().has_value()) return *override_level();
+  static const LogLevel from_env = env_level();
+  return from_env;
+}
+
+void set_log_level(LogLevel level) { override_level() = level; }
+
+void log_line(LogLevel level, const std::string& message) {
+  if (log_level() < level) return;
+  std::cerr << "[scs] " << message << '\n';
+}
+
+}  // namespace scs

@@ -1,0 +1,45 @@
+// Minimal leveled logging to stderr.
+//
+// Verbosity is controlled by the SCS_LOG environment variable
+// (0 = silent, 1 = info, 2 = debug). Benchmarks and examples use info-level
+// progress lines; the test suite runs silent by default.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace scs {
+
+enum class LogLevel { kSilent = 0, kInfo = 1, kDebug = 2 };
+
+/// Current verbosity (initialized from SCS_LOG on first use).
+LogLevel log_level();
+
+/// Override the verbosity programmatically (takes precedence over SCS_LOG).
+void set_log_level(LogLevel level);
+
+/// Emit one line to stderr if `level` is enabled.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_level() >= LogLevel::kInfo)
+    log_line(LogLevel::kInfo, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_level() >= LogLevel::kDebug)
+    log_line(LogLevel::kDebug, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace scs

@@ -1,0 +1,54 @@
+#include "util/rng.hpp"
+
+#include "util/check.hpp"
+
+namespace scs {
+
+Rng::Rng(std::uint64_t seed) : engine_(seed) {}
+
+double Rng::uniform(double lo, double hi) {
+  SCS_REQUIRE(lo <= hi, "uniform: lo must be <= hi");
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::uniform01() { return uniform(0.0, 1.0); }
+
+double Rng::normal(double mean, double stddev) {
+  SCS_REQUIRE(stddev >= 0.0, "normal: stddev must be >= 0");
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+int Rng::uniform_int(int lo, int hi) {
+  SCS_REQUIRE(lo <= hi, "uniform_int: lo must be <= hi");
+  std::uniform_int_distribution<int> dist(lo, hi);
+  return dist(engine_);
+}
+
+std::size_t Rng::index(std::size_t n) {
+  SCS_REQUIRE(n > 0, "index: n must be positive");
+  std::uniform_int_distribution<std::size_t> dist(0, n - 1);
+  return dist(engine_);
+}
+
+std::vector<double> Rng::uniform_vector(std::size_t n, double lo, double hi) {
+  std::vector<double> out(n);
+  for (auto& v : out) v = uniform(lo, hi);
+  return out;
+}
+
+std::vector<double> Rng::normal_vector(std::size_t n, double mean,
+                                       double stddev) {
+  std::vector<double> out(n);
+  for (auto& v : out) v = normal(mean, stddev);
+  return out;
+}
+
+Rng Rng::fork() {
+  // Draw a fresh 64-bit seed; the child stream is then independent of
+  // subsequent draws from this generator.
+  return Rng(engine_());
+}
+
+}  // namespace scs

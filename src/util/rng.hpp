@@ -1,0 +1,52 @@
+// Deterministic random number generation.
+//
+// Every stochastic component of the pipeline (RL exploration, scenario
+// sampling, SOS lambda initialization, ...) draws from an explicitly passed
+// Rng so that runs are reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace scs {
+
+/// A seeded pseudo-random generator with the handful of distributions the
+/// library needs. Thin wrapper over std::mt19937_64; copyable so call sites
+/// can fork deterministic sub-streams.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0);
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Normal sample with the given mean / standard deviation.
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi);
+
+  /// Uniform index in [0, n).
+  std::size_t index(std::size_t n);
+
+  /// A vector of n i.i.d. uniform samples in [lo, hi).
+  std::vector<double> uniform_vector(std::size_t n, double lo, double hi);
+
+  /// A vector of n i.i.d. normal samples.
+  std::vector<double> normal_vector(std::size_t n, double mean = 0.0,
+                                    double stddev = 1.0);
+
+  /// Derive an independent child generator (for deterministic sub-streams).
+  Rng fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace scs

@@ -1,0 +1,16 @@
+#include "util/stopwatch.hpp"
+
+namespace scs {
+
+Stopwatch::Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+void Stopwatch::reset() { start_ = std::chrono::steady_clock::now(); }
+
+double Stopwatch::seconds() const {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now - start_).count();
+}
+
+double Stopwatch::milliseconds() const { return seconds() * 1e3; }
+
+}  // namespace scs

@@ -1,0 +1,26 @@
+// Wall-clock stopwatch used to report the T_p / T_n timing columns of the
+// paper's tables and to enforce verification time budgets.
+#pragma once
+
+#include <chrono>
+
+namespace scs {
+
+class Stopwatch {
+ public:
+  Stopwatch();
+
+  /// Restart the stopwatch.
+  void reset();
+
+  /// Seconds elapsed since construction / last reset.
+  double seconds() const;
+
+  /// Milliseconds elapsed since construction / last reset.
+  double milliseconds() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace scs

@@ -1,0 +1,89 @@
+// Tests for synthesis-artifact persistence.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/artifacts.hpp"
+#include "util/check.hpp"
+
+namespace scs {
+namespace {
+
+SynthesisArtifacts sample_artifacts() {
+  SynthesisArtifacts a;
+  a.benchmark = "C1";
+  a.num_states = 2;
+  const auto x1 = Polynomial::variable(2, 0);
+  const auto x2 = Polynomial::variable(2, 1);
+  a.controller = {x1 * 9.875 - x1.pow(3) * 1.56 - x2 * 2.0};
+  a.barrier = Polynomial::constant(2, 5.76) - x1 * x1 - x2 * x2;
+  a.lambda = Polynomial::constant(2, -1.0);
+  a.barrier_degree = 2;
+  a.pac.degree = 3;
+  a.pac.error = 0.0293;
+  a.pac.eps = 0.001;
+  a.pac.eta = 1e-6;
+  a.pac.samples = 49632;
+  return a;
+}
+
+TEST(Artifacts, RoundTripPreservesPolynomials) {
+  const SynthesisArtifacts a = sample_artifacts();
+  std::stringstream ss;
+  save_artifacts(a, ss);
+  const SynthesisArtifacts b = load_artifacts(ss);
+  EXPECT_EQ(b.benchmark, "C1");
+  EXPECT_EQ(b.num_states, 2u);
+  ASSERT_EQ(b.controller.size(), 1u);
+  EXPECT_LT(max_coefficient_diff(a.controller[0], b.controller[0]), 1e-12);
+  EXPECT_LT(max_coefficient_diff(a.barrier, b.barrier), 1e-12);
+  EXPECT_LT(max_coefficient_diff(a.lambda, b.lambda), 1e-12);
+  EXPECT_EQ(b.barrier_degree, 2);
+  EXPECT_EQ(b.pac.samples, 49632u);
+  EXPECT_DOUBLE_EQ(b.pac.error, 0.0293);
+}
+
+TEST(Artifacts, FileRoundTrip) {
+  const SynthesisArtifacts a = sample_artifacts();
+  const std::string path = "/tmp/scs_artifacts_test.txt";
+  save_artifacts_file(a, path);
+  const SynthesisArtifacts b = load_artifacts_file(path);
+  EXPECT_LT(max_coefficient_diff(a.barrier, b.barrier), 1e-12);
+  std::remove(path.c_str());
+}
+
+TEST(Artifacts, ZeroLambdaRoundTrips) {
+  SynthesisArtifacts a = sample_artifacts();
+  a.lambda = Polynomial(2);  // zero polynomial prints as "0"
+  std::stringstream ss;
+  save_artifacts(a, ss);
+  const SynthesisArtifacts b = load_artifacts(ss);
+  EXPECT_TRUE(b.lambda.is_zero() || b.lambda.max_abs_coefficient() == 0.0);
+}
+
+TEST(Artifacts, FromResultExtractsFields) {
+  SynthesisResult r;
+  r.benchmark = "toy";
+  r.controller = {Polynomial::variable(2, 0)};
+  r.barrier.barrier = Polynomial::constant(2, 1.0);
+  r.barrier.degree = 2;
+  const SynthesisArtifacts a = artifacts_from(r, 2);
+  EXPECT_EQ(a.benchmark, "toy");
+  EXPECT_EQ(a.controller.size(), 1u);
+}
+
+TEST(Artifacts, RejectsBadHeaderAndTruncation) {
+  std::stringstream bad("nope 1\n");
+  EXPECT_THROW(load_artifacts(bad), PreconditionError);
+  const SynthesisArtifacts a = sample_artifacts();
+  std::stringstream ss;
+  save_artifacts(a, ss);
+  std::string text = ss.str();
+  text.resize(text.size() / 3);
+  std::stringstream half(text);
+  EXPECT_THROW(load_artifacts(half), PreconditionError);
+  EXPECT_THROW(load_artifacts_file("/nonexistent/a.txt"), PreconditionError);
+}
+
+}  // namespace
+}  // namespace scs

@@ -1,0 +1,116 @@
+// Tests for boxes and semialgebraic sets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "systems/semialgebraic.hpp"
+#include "util/check.hpp"
+
+namespace scs {
+namespace {
+
+TEST(Box, ContainsAndClamp) {
+  const Box b(Vec{-1.0, 0.0}, Vec{1.0, 2.0});
+  EXPECT_TRUE(b.contains(Vec{0.0, 1.0}));
+  EXPECT_FALSE(b.contains(Vec{1.5, 1.0}));
+  EXPECT_TRUE(b.contains(Vec{1.1, 1.0}, 0.2));
+  const Vec c = b.clamp(Vec{5.0, -3.0});
+  EXPECT_DOUBLE_EQ(c[0], 1.0);
+  EXPECT_DOUBLE_EQ(c[1], 0.0);
+}
+
+TEST(Box, SampleStaysInside) {
+  Rng rng(1);
+  const Box b = Box::centered(4, 2.5);
+  for (int i = 0; i < 200; ++i) EXPECT_TRUE(b.contains(b.sample(rng)));
+}
+
+TEST(Box, CenterAndWidths) {
+  const Box b(Vec{-1.0, 2.0}, Vec{3.0, 4.0});
+  EXPECT_DOUBLE_EQ(b.center()[0], 1.0);
+  EXPECT_DOUBLE_EQ(b.center()[1], 3.0);
+  EXPECT_DOUBLE_EQ(b.widths()[0], 4.0);
+}
+
+TEST(Box, GridCoversCorners) {
+  const Box b = Box::centered(2, 1.0);
+  const auto grid = b.grid(3);
+  EXPECT_EQ(grid.size(), 9u);
+  // All corners present.
+  int corners = 0;
+  for (const auto& p : grid)
+    if (std::fabs(p[0]) == 1.0 && std::fabs(p[1]) == 1.0) ++corners;
+  EXPECT_EQ(corners, 4);
+}
+
+TEST(Box, RejectsInvertedBounds) {
+  EXPECT_THROW(Box(Vec{1.0}, Vec{0.0}), PreconditionError);
+}
+
+TEST(SemialgebraicSet, BallMembershipAndDistance) {
+  const auto ball = SemialgebraicSet::ball(Vec{1.0, 0.0}, 2.0);
+  EXPECT_TRUE(ball.contains(Vec{1.0, 1.0}));
+  EXPECT_TRUE(ball.contains(Vec{3.0, 0.0}));
+  EXPECT_FALSE(ball.contains(Vec{3.5, 0.0}));
+  EXPECT_TRUE(ball.has_analytic_distance());
+  EXPECT_NEAR(ball.distance_to(Vec{4.0, 0.0}), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(ball.distance_to(Vec{1.0, 0.5}), 0.0);
+}
+
+TEST(SemialgebraicSet, OutsideBallIsComplementShell) {
+  const Box psi = Box::centered(2, 5.0);
+  const auto shell = SemialgebraicSet::outside_ball(Vec{0.0, 0.0}, 2.0, psi);
+  EXPECT_FALSE(shell.contains(Vec{0.0, 0.0}));
+  EXPECT_TRUE(shell.contains(Vec{3.0, 0.0}));
+  // Distance from an interior point to the shell boundary.
+  EXPECT_NEAR(shell.distance_to(Vec{0.5, 0.0}), 1.5, 1e-12);
+  EXPECT_DOUBLE_EQ(shell.distance_to(Vec{2.5, 0.0}), 0.0);
+}
+
+TEST(SemialgebraicSet, FromBoxInequalitiesAreLinear) {
+  const auto set = SemialgebraicSet::from_box(Box::centered(3, 2.0));
+  EXPECT_EQ(set.inequalities().size(), 6u);
+  for (const auto& g : set.inequalities()) EXPECT_EQ(g.degree(), 1);
+  EXPECT_TRUE(set.contains(Vec{1.9, -1.9, 0.0}));
+  EXPECT_FALSE(set.contains(Vec{2.1, 0.0, 0.0}));
+  EXPECT_NEAR(set.distance_to(Vec{3.0, 0.0, 0.0}), 1.0, 1e-12);
+}
+
+TEST(SemialgebraicSet, SamplingRespectsMembership) {
+  Rng rng(3);
+  const Box psi = Box::centered(3, 3.0);
+  const auto shell = SemialgebraicSet::outside_ball(Vec(3, 0.0), 1.5, psi);
+  const auto pts = shell.sample_many(200, rng);
+  for (const auto& p : pts) {
+    EXPECT_TRUE(shell.contains(p));
+    EXPECT_TRUE(psi.contains(p));
+  }
+}
+
+TEST(SemialgebraicSet, SampleFailsOnEmptySet) {
+  // Ball of radius 1 centered far outside its sampling box.
+  std::vector<Polynomial> ineqs;
+  const auto x = Polynomial::variable(1, 0);
+  // x >= 10 within box [-1, 1]: empty.
+  ineqs.push_back(x - Polynomial::constant(1, 10.0));
+  SemialgebraicSet empty(std::move(ineqs), Box::centered(1, 1.0));
+  Rng rng(5);
+  EXPECT_THROW(empty.sample(rng, 1000), PreconditionError);
+}
+
+TEST(SemialgebraicSet, MonteCarloDistanceFallback) {
+  // A set without analytic distance: half-space x1 >= 1 in a box.
+  std::vector<Polynomial> ineqs;
+  ineqs.push_back(Polynomial::variable(2, 0) - Polynomial::constant(2, 1.0));
+  SemialgebraicSet half(std::move(ineqs), Box::centered(2, 2.0));
+  EXPECT_FALSE(half.has_analytic_distance());
+  Rng rng(7);
+  const double d = half.distance_to(Vec{0.0, 0.0}, &rng);
+  // True distance is 1; the sampled estimate is an upper bound and should
+  // be in a sane range.
+  EXPECT_GE(d, 1.0 - 1e-9);
+  EXPECT_LE(d, 1.8);
+}
+
+}  // namespace
+}  // namespace scs

@@ -1,0 +1,80 @@
+// Tests for the controlled-CCDS model type.
+#include <gtest/gtest.h>
+
+#include "systems/ccds.hpp"
+#include "util/check.hpp"
+
+namespace scs {
+namespace {
+
+Ccds make_double_integrator() {
+  Ccds sys;
+  sys.name = "double-integrator";
+  sys.num_states = 2;
+  sys.num_controls = 1;
+  const auto x2 = Polynomial::variable(3, 1);
+  const auto u = Polynomial::variable(3, 2);
+  sys.open_field = {x2, u};
+  const Box box = Box::centered(2, 2.0);
+  sys.init_set = SemialgebraicSet::ball(Vec{0.0, 0.0}, 0.5);
+  sys.domain = SemialgebraicSet::from_box(box);
+  sys.unsafe_set = SemialgebraicSet::outside_ball(Vec{0.0, 0.0}, 1.5, box);
+  sys.control_bound = 2.0;
+  return sys;
+}
+
+TEST(Ccds, ValidatePasses) {
+  const Ccds sys = make_double_integrator();
+  EXPECT_NO_THROW(sys.validate());
+  EXPECT_EQ(sys.field_degree(), 1);
+}
+
+TEST(Ccds, EvalOpenField) {
+  const Ccds sys = make_double_integrator();
+  const Vec dx = sys.eval_open(Vec{1.0, 2.0}, Vec{-0.5});
+  EXPECT_DOUBLE_EQ(dx[0], 2.0);
+  EXPECT_DOUBLE_EQ(dx[1], -0.5);
+}
+
+TEST(Ccds, ClosedLoopPolynomialSubstitution) {
+  const Ccds sys = make_double_integrator();
+  // u = -x1 - x2.
+  const Polynomial p =
+      -Polynomial::variable(2, 0) - Polynomial::variable(2, 1);
+  const auto closed = sys.closed_loop({p});
+  ASSERT_EQ(closed.size(), 2u);
+  EXPECT_NEAR(closed[1].evaluate(Vec{1.0, 2.0}), -3.0, 1e-12);
+}
+
+TEST(Ccds, ClosedLoopFieldClampsControlLaw) {
+  const Ccds sys = make_double_integrator();
+  // A law that asks for u = 100 gets clamped to the actuator bound 2.
+  const ControlLaw law = [](const Vec&) { return Vec{100.0}; };
+  const VectorField f = sys.closed_loop_field(law);
+  const Vec dx = f(Vec{0.0, 0.0});
+  EXPECT_DOUBLE_EQ(dx[1], 2.0);
+}
+
+TEST(Ccds, PolynomialFieldIsUnclamped) {
+  const Ccds sys = make_double_integrator();
+  const Polynomial p = Polynomial::constant(2, 5.0);  // beyond the bound
+  const VectorField f = sys.closed_loop_field(std::vector<Polynomial>{p});
+  EXPECT_DOUBLE_EQ(f(Vec{0.0, 0.0})[1], 5.0);
+}
+
+TEST(Ccds, ValidateCatchesBadShapes) {
+  Ccds sys = make_double_integrator();
+  sys.open_field.pop_back();
+  EXPECT_THROW(sys.validate(), PreconditionError);
+
+  Ccds sys2 = make_double_integrator();
+  sys2.control_bound = 0.0;
+  EXPECT_THROW(sys2.validate(), PreconditionError);
+
+  Ccds sys3 = make_double_integrator();
+  sys3.num_controls = 2;  // field polynomials now have wrong variable count
+  EXPECT_THROW(sys3.validate(), PreconditionError);
+}
+
+}  // namespace
+}  // namespace scs

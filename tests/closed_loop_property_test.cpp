@@ -1,0 +1,101 @@
+// Property tests over the whole benchmark suite: closed-loop degree
+// bookkeeping, evaluation consistency, and Lie-derivative coherence --
+// the invariants the SOS stage silently relies on.
+#include <gtest/gtest.h>
+
+#include "poly/basis.hpp"
+#include "poly/lie.hpp"
+#include "systems/benchmarks.hpp"
+#include "util/rng.hpp"
+
+namespace scs {
+namespace {
+
+Polynomial random_controller(std::size_t n, int degree, Rng& rng) {
+  const auto basis = monomials_up_to(n, degree);
+  Vec c(basis.size());
+  for (auto& v : c.data()) v = rng.uniform(-0.5, 0.5);
+  return Polynomial::from_coefficients(basis, c);
+}
+
+class BenchmarkClosedLoop : public ::testing::TestWithParam<int> {};
+
+TEST_P(BenchmarkClosedLoop, DegreeAndConsistencyInvariants) {
+  const Benchmark bench = make_benchmark(all_benchmark_ids()[GetParam()]);
+  const Ccds& sys = bench.ccds;
+  Rng rng(100 + GetParam());
+
+  for (int d_p = 1; d_p <= 3; ++d_p) {
+    const Polynomial p = random_controller(sys.num_states, d_p, rng);
+    const auto closed = sys.closed_loop({p});
+    ASSERT_EQ(closed.size(), sys.num_states);
+
+    // Degree bound: controls enter the benchmark fields affinely, so
+    // deg(closed) <= max(d_f, d_p + (d_f - 1)) is loose but safe; check the
+    // tight affine bound deg <= max(d_f, d_p) when u-coefficients are
+    // constants (true for every benchmark).
+    int closed_deg = 0;
+    for (const auto& f : closed) closed_deg = std::max(closed_deg, f.degree());
+    EXPECT_LE(closed_deg, std::max(sys.field_degree(), d_p))
+        << bench.name << " d_p=" << d_p;
+
+    // Pointwise consistency between symbolic closure and direct evaluation.
+    for (int t = 0; t < 10; ++t) {
+      const Vec x = sys.domain.sample(rng);
+      const Vec u{p.evaluate(x)};
+      const Vec direct = sys.eval_open(x, u);
+      for (std::size_t i = 0; i < sys.num_states; ++i)
+        EXPECT_NEAR(closed[i].evaluate(x), direct[i],
+                    1e-7 * (1.0 + std::fabs(direct[i])))
+            << bench.name;
+    }
+
+    // Lie derivative of a quadratic along the closed loop matches the
+    // directional finite difference.
+    const auto basis2 = monomials_up_to(sys.num_states, 2);
+    Vec bc(basis2.size());
+    for (auto& v : bc.data()) v = rng.uniform(-1.0, 1.0);
+    const Polynomial barrier = Polynomial::from_coefficients(basis2, bc);
+    const Polynomial lie = lie_derivative(barrier, closed);
+    for (int t = 0; t < 5; ++t) {
+      const Vec x = sys.domain.sample(rng);
+      Vec dx(sys.num_states);
+      for (std::size_t i = 0; i < sys.num_states; ++i)
+        dx[i] = closed[i].evaluate(x);
+      const double h = 1e-6;
+      Vec xp = x;
+      xp.axpy(h, dx);
+      Vec xm = x;
+      xm.axpy(-h, dx);
+      const double fd =
+          (barrier.evaluate(xp) - barrier.evaluate(xm)) / (2.0 * h);
+      EXPECT_NEAR(lie.evaluate(x), fd, 1e-3 * (1.0 + std::fabs(fd)))
+          << bench.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BenchmarkClosedLoop,
+                         ::testing::Range(0, 10));
+
+TEST(BenchmarkProperty, ControlEntersAffinely) {
+  // The SOS stage relies on deg_u(f) <= 1 for every benchmark: substituting
+  // a degree-d controller must not square it.
+  for (const auto id : all_benchmark_ids()) {
+    const Benchmark bench = make_benchmark(id);
+    const std::size_t n = bench.ccds.num_states;
+    const std::size_t m = bench.ccds.num_controls;
+    for (const auto& f : bench.ccds.open_field) {
+      for (const auto& [mono, coeff] : f.terms()) {
+        (void)coeff;
+        int u_degree = 0;
+        for (std::size_t k = n; k < n + m; ++k)
+          u_degree += mono.exponent(k);
+        EXPECT_LE(u_degree, 1) << bench.name;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scs

@@ -1,0 +1,109 @@
+// Tests for Lie derivatives and closed-loop composition.
+#include <gtest/gtest.h>
+
+#include "poly/basis.hpp"
+#include "poly/lie.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace scs {
+namespace {
+
+Polynomial random_poly(std::size_t n, int degree, Rng& rng) {
+  const auto basis = monomials_up_to(n, degree);
+  Vec c(basis.size());
+  for (auto& v : c) v = rng.uniform(-1.0, 1.0);
+  return Polynomial::from_coefficients(basis, c);
+}
+
+TEST(LieDerivative, KnownCase) {
+  // B = x1^2 + x2^2, f = (x2, -x1): L_f B = 2 x1 x2 - 2 x2 x1 = 0
+  // (rotation preserves the radius).
+  const auto x1 = Polynomial::variable(2, 0);
+  const auto x2 = Polynomial::variable(2, 1);
+  const Polynomial b = x1 * x1 + x2 * x2;
+  const Polynomial lie = lie_derivative(b, {x2, -x1});
+  EXPECT_TRUE(lie.is_zero());
+}
+
+TEST(LieDerivative, DampedSystemDecreasesRadius) {
+  // f = (-x1, -x2): L_f (x1^2 + x2^2) = -2 x1^2 - 2 x2^2.
+  const auto x1 = Polynomial::variable(2, 0);
+  const auto x2 = Polynomial::variable(2, 1);
+  const Polynomial b = x1 * x1 + x2 * x2;
+  const Polynomial lie = lie_derivative(b, {-x1, -x2});
+  EXPECT_LT(max_coefficient_diff(lie, b * (-2.0)), 1e-14);
+}
+
+TEST(LieDerivative, LinearInBarrier) {
+  Rng rng(2);
+  std::vector<Polynomial> f = {random_poly(3, 2, rng), random_poly(3, 2, rng),
+                               random_poly(3, 2, rng)};
+  const Polynomial b1 = random_poly(3, 3, rng);
+  const Polynomial b2 = random_poly(3, 2, rng);
+  const Polynomial lhs = lie_derivative(b1 + b2 * 2.0, f);
+  const Polynomial rhs = lie_derivative(b1, f) + lie_derivative(b2, f) * 2.0;
+  EXPECT_LT(max_coefficient_diff(lhs, rhs), 1e-10);
+}
+
+TEST(LieDerivative, LeibnizProductRule) {
+  Rng rng(3);
+  std::vector<Polynomial> f = {random_poly(2, 2, rng), random_poly(2, 2, rng)};
+  const Polynomial a = random_poly(2, 2, rng);
+  const Polynomial b = random_poly(2, 2, rng);
+  const Polynomial lhs = lie_derivative(a * b, f);
+  const Polynomial rhs = lie_derivative(a, f) * b + a * lie_derivative(b, f);
+  EXPECT_LT(max_coefficient_diff(lhs, rhs), 1e-9);
+}
+
+TEST(CloseLoop, SubstitutesController) {
+  // f(x, u) = (x2, u): with u = -x1 - x2 the loop is (x2, -x1 - x2).
+  const std::size_t t = 3;  // x1, x2, u
+  const auto x1 = Polynomial::variable(t, 0);
+  const auto x2 = Polynomial::variable(t, 1);
+  const auto u = Polynomial::variable(t, 2);
+  const Polynomial p =
+      -Polynomial::variable(2, 0) - Polynomial::variable(2, 1);
+  const auto closed = close_loop({x2, u}, 2, {p});
+  ASSERT_EQ(closed.size(), 2u);
+  EXPECT_EQ(closed[0].num_vars(), 2u);
+  EXPECT_LT(max_coefficient_diff(closed[1], p), 1e-14);
+}
+
+TEST(CloseLoop, NonlinearControlEntry) {
+  // f2 = x1 + u^2 with u = x2: closed f2 = x1 + x2^2.
+  const std::size_t t = 3;
+  const auto x1 = Polynomial::variable(t, 0);
+  const auto x2 = Polynomial::variable(t, 1);
+  const auto u = Polynomial::variable(t, 2);
+  const auto closed = close_loop({x2, x1 + u * u}, 2,
+                                 {Polynomial::variable(2, 1)});
+  const auto expect = Polynomial::variable(2, 0) +
+                      Polynomial::variable(2, 1).pow(2);
+  EXPECT_LT(max_coefficient_diff(closed[1], expect), 1e-14);
+}
+
+TEST(CloseLoop, EvaluationConsistency) {
+  Rng rng(5);
+  // Random open field over (x1, x2, u) and random controller p(x).
+  std::vector<Polynomial> f = {random_poly(3, 2, rng), random_poly(3, 2, rng)};
+  const Polynomial p = random_poly(2, 2, rng);
+  const auto closed = close_loop(f, 2, {p});
+  for (int t = 0; t < 20; ++t) {
+    const Vec x(rng.uniform_vector(2, -1.0, 1.0));
+    const Vec z = concat(x, Vec{p.evaluate(x)});
+    for (std::size_t i = 0; i < 2; ++i)
+      EXPECT_NEAR(closed[i].evaluate(x), f[i].evaluate(z), 1e-9);
+  }
+}
+
+TEST(CloseLoop, RejectsBadShapes) {
+  const auto x1 = Polynomial::variable(3, 0);
+  EXPECT_THROW(close_loop({x1, x1}, 2, {}), PreconditionError);
+  EXPECT_THROW(
+      close_loop({x1, x1}, 2, {Polynomial::variable(3, 0)}),
+      PreconditionError);
+}
+
+}  // namespace
+}  // namespace scs

@@ -1,0 +1,120 @@
+// Tests for Lyapunov synthesis and Monte-Carlo safety estimation.
+#include <gtest/gtest.h>
+
+#include "barrier/lyapunov.hpp"
+#include "barrier/mc_safety.hpp"
+#include "poly/lie.hpp"
+#include "util/check.hpp"
+
+namespace scs {
+namespace {
+
+TEST(Lyapunov, FindsQuadraticForStableLinearSystem) {
+  // xdot = (-x1 + x2, -x1 - x2): spiral sink.
+  const auto x1 = Polynomial::variable(2, 0);
+  const auto x2 = Polynomial::variable(2, 1);
+  const std::vector<Polynomial> field = {-x1 + x2, -x1 - x2};
+  const LyapunovResult r = synthesize_lyapunov(field);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_EQ(r.degree, 2);
+  // V must be positive away from the origin and decreasing along the flow.
+  Rng rng(1);
+  const Polynomial lie = lie_derivative(r.function, field);
+  for (int i = 0; i < 200; ++i) {
+    Vec x(rng.uniform_vector(2, -2.0, 2.0));
+    if (x.norm() < 0.1) continue;
+    EXPECT_GT(r.function.evaluate(x), 0.0);
+    EXPECT_LT(lie.evaluate(x), 0.0);
+  }
+  EXPECT_NEAR(r.function.evaluate(Vec{0.0, 0.0}), 0.0, 1e-9);
+}
+
+TEST(Lyapunov, CubicDampingNeedsNoHighDegree) {
+  // xdot = -x - x^3 (1-D).
+  const auto x = Polynomial::variable(1, 0);
+  const LyapunovResult r = synthesize_lyapunov({-x - x.pow(3)});
+  EXPECT_TRUE(r.success) << r.failure_reason;
+}
+
+TEST(Lyapunov, RejectsUnstableSystem) {
+  // xdot = +x has no Lyapunov function.
+  const auto x = Polynomial::variable(1, 0);
+  const LyapunovResult r = synthesize_lyapunov({x});
+  EXPECT_FALSE(r.success);
+}
+
+TEST(Lyapunov, RejectsNonEquilibriumOrigin) {
+  const auto x = Polynomial::variable(1, 0);
+  const LyapunovResult r =
+      synthesize_lyapunov({-x + Polynomial::constant(1, 1.0)});
+  EXPECT_FALSE(r.success);
+  EXPECT_NE(r.failure_reason.find("equilibrium"), std::string::npos);
+}
+
+Ccds mc_system() {
+  Ccds sys;
+  sys.name = "mc-toy";
+  sys.num_states = 1;
+  sys.num_controls = 1;
+  sys.open_field = {Polynomial::variable(2, 0) * (-1.0) +
+                    Polynomial::variable(2, 1)};
+  const Box box = Box::centered(1, 3.0);
+  sys.init_set = SemialgebraicSet::ball(Vec{0.0}, 0.5);
+  sys.domain = SemialgebraicSet::from_box(box);
+  sys.unsafe_set = SemialgebraicSet::outside_ball(Vec{0.0}, 2.0, box);
+  sys.control_bound = 1.0;
+  return sys;
+}
+
+TEST(McSafety, StableLoopHasZeroViolations) {
+  const Ccds sys = mc_system();
+  Rng rng(2);
+  McSafetyConfig cfg;
+  cfg.rollouts = 200;
+  cfg.max_steps = 500;
+  const McSafetyResult r =
+      estimate_safety(sys, {Polynomial(1)}, cfg, rng);
+  EXPECT_EQ(r.violations, 0u);
+  EXPECT_DOUBLE_EQ(r.violation_rate, 0.0);
+  // Hoeffding bound with N = 200, eta = 1e-6: sqrt(ln(1e6)/400) ~ 0.186.
+  EXPECT_NEAR(r.violation_upper_bound, 0.186, 0.01);
+}
+
+TEST(McSafety, UnstableLoopIsFlagged) {
+  const Ccds sys = mc_system();
+  // u = 2x overwhelms the -x drift: trajectories blow out of the shell.
+  const Polynomial destabilizer = Polynomial::variable(1, 0) * 2.0;
+  Rng rng(3);
+  McSafetyConfig cfg;
+  cfg.rollouts = 100;
+  cfg.max_steps = 2000;
+  const McSafetyResult r = estimate_safety(sys, {destabilizer}, cfg, rng);
+  EXPECT_GT(r.violation_rate, 0.5);
+  EXPECT_GE(r.violation_upper_bound, r.violation_rate);  // clamped at 1
+}
+
+TEST(McSafety, BoundShrinksWithSampleSize) {
+  const Ccds sys = mc_system();
+  Rng rng(4);
+  McSafetyConfig small;
+  small.rollouts = 50;
+  small.max_steps = 100;
+  McSafetyConfig large = small;
+  large.rollouts = 800;
+  const auto r_small = estimate_safety(sys, {Polynomial(1)}, small, rng);
+  const auto r_large = estimate_safety(sys, {Polynomial(1)}, large, rng);
+  EXPECT_LT(r_large.violation_upper_bound - r_large.violation_rate,
+            r_small.violation_upper_bound - r_small.violation_rate);
+}
+
+TEST(McSafety, RejectsBadConfig) {
+  const Ccds sys = mc_system();
+  Rng rng(5);
+  McSafetyConfig cfg;
+  cfg.rollouts = 0;
+  EXPECT_THROW(estimate_safety(sys, {Polynomial(1)}, cfg, rng),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace scs

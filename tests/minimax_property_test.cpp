@@ -1,0 +1,109 @@
+// Property-based tests of the Chebyshev fitter: support/equioscillation
+// structure at the optimum, affine invariances, and monotonicity in the
+// template.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "opt/minimax_fit.hpp"
+#include "poly/basis.hpp"
+#include "util/rng.hpp"
+
+namespace scs {
+namespace {
+
+Mat random_design(std::size_t k, std::size_t v, Rng& rng) {
+  Mat d(k, v);
+  for (std::size_t i = 0; i < k; ++i) {
+    d(i, 0) = 1.0;
+    for (std::size_t j = 1; j < v; ++j) d(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  return d;
+}
+
+class MinimaxSupport : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinimaxSupport, OptimumHasEnoughActiveSamples) {
+  // Chebyshev optimality for a v-dimensional family needs at least v+1
+  // active (max-residual) samples in general position.
+  Rng rng(GetParam());
+  const std::size_t k = 200;
+  const std::size_t v = 2 + rng.index(3);
+  const Mat design = random_design(k, v, rng);
+  Vec targets(k);
+  for (std::size_t i = 0; i < k; ++i) targets[i] = rng.uniform(-1.0, 1.0);
+  const MinimaxFitResult fit = minimax_fit(design, targets);
+  if (!fit.exact) GTEST_SKIP();  // exchange hit its round cap
+  EXPECT_GE(fit.support.size(), v + 1) << "v = " << v;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinimaxSupport, ::testing::Range(1, 13));
+
+TEST(MinimaxProperty, TargetShiftShiftsConstantCoefficient) {
+  Rng rng(31);
+  const Mat design = random_design(150, 3, rng);
+  Vec targets(150);
+  for (auto& t : targets.data()) t = rng.uniform(-1.0, 1.0);
+  const MinimaxFitResult base = minimax_fit(design, targets);
+  Vec shifted = targets;
+  for (auto& t : shifted.data()) t += 5.0;
+  const MinimaxFitResult moved = minimax_fit(design, shifted);
+  EXPECT_NEAR(moved.error, base.error, 1e-6 + 1e-4 * base.error);
+  EXPECT_NEAR(moved.coefficients[0], base.coefficients[0] + 5.0, 1e-4);
+}
+
+TEST(MinimaxProperty, TargetScalingScalesError) {
+  Rng rng(32);
+  const Mat design = random_design(150, 3, rng);
+  Vec targets(150);
+  for (auto& t : targets.data()) t = rng.uniform(-1.0, 1.0);
+  const MinimaxFitResult base = minimax_fit(design, targets);
+  Vec scaled = targets;
+  for (auto& t : scaled.data()) t *= 3.0;
+  const MinimaxFitResult tripled = minimax_fit(design, scaled);
+  EXPECT_NEAR(tripled.error, 3.0 * base.error, 1e-5 + 1e-3 * base.error);
+}
+
+TEST(MinimaxProperty, LargerTemplateNeverWorse) {
+  // Adding basis columns can only reduce (or keep) the optimal error.
+  Rng rng(33);
+  const std::size_t k = 500;
+  Mat design5(k, 5);
+  Vec targets(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const double x = rng.uniform(-1.0, 1.0);
+    double p = 1.0;
+    for (std::size_t j = 0; j < 5; ++j) {
+      design5(i, j) = p;
+      p *= x;
+    }
+    targets[i] = std::sin(3.0 * x);
+  }
+  Mat design3(k, 3);
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t j = 0; j < 3; ++j) design3(i, j) = design5(i, j);
+  const double e3 = minimax_fit(design3, targets).error;
+  const double e5 = minimax_fit(design5, targets).error;
+  EXPECT_LE(e5, e3 + 1e-9);
+}
+
+TEST(MinimaxProperty, SubsetErrorLowerBoundsFullError) {
+  // The scenario program over fewer samples is a relaxation.
+  Rng rng(34);
+  const std::size_t k = 400;
+  const Mat design = random_design(k, 4, rng);
+  Vec targets(k);
+  for (auto& t : targets.data()) t = rng.uniform(-2.0, 2.0);
+  Mat half(k / 2, 4);
+  Vec half_t(k / 2);
+  for (std::size_t i = 0; i < k / 2; ++i) {
+    half.set_row(i, design.row(i));
+    half_t[i] = targets[i];
+  }
+  const double e_half = minimax_fit(half, half_t).error;
+  const double e_full = minimax_fit(design, targets).error;
+  EXPECT_LE(e_half, e_full + 1e-6);
+}
+
+}  // namespace
+}  // namespace scs

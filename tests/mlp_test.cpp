@@ -1,0 +1,138 @@
+// Tests for the MLP substrate: forward pass, gradient checking, parameter
+// round trips, soft updates.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/mlp.hpp"
+#include "util/check.hpp"
+
+namespace scs {
+namespace {
+
+TEST(Mlp, ForwardShapesAndStructureString) {
+  Rng rng(1);
+  Mlp net(3, {30, 30, 30, 30, 30}, 1, Activation::kRelu, Activation::kTanh,
+          rng);
+  EXPECT_EQ(net.input_dim(), 3u);
+  EXPECT_EQ(net.output_dim(), 1u);
+  EXPECT_EQ(net.layer_count(), 6u);
+  EXPECT_EQ(net.structure_string(), "3-30-30-30-30-30-1");
+  const Vec y = net.forward(Vec{0.1, -0.2, 0.3});
+  ASSERT_EQ(y.size(), 1u);
+  EXPECT_LE(std::fabs(y[0]), 1.0);  // tanh output range
+}
+
+TEST(Mlp, ParameterRoundTrip) {
+  Rng rng(2);
+  Mlp net(2, {5}, 2, Activation::kRelu, Activation::kIdentity, rng);
+  const Vec p = net.parameters();
+  EXPECT_EQ(p.size(), net.parameter_count());
+  EXPECT_EQ(p.size(), 2u * 5u + 5u + 5u * 2u + 2u);
+  Vec p2 = p;
+  for (auto& v : p2) v += 0.5;
+  net.set_parameters(p2);
+  EXPECT_LT(max_abs_diff(net.parameters(), p2), 1e-15);
+}
+
+TEST(Mlp, GradientCheckTanh) {
+  // Finite-difference check of dL/dtheta with L = y (single output).
+  Rng rng(3);
+  Mlp net(2, {4, 4}, 1, Activation::kTanh, Activation::kTanh, rng);
+  const Vec x{0.3, -0.7};
+
+  Mlp::Workspace ws;
+  net.forward(x, ws);
+  Vec grad(net.parameter_count(), 0.0);
+  net.backward(ws, Vec{1.0}, grad);
+
+  const Vec p = net.parameters();
+  const double h = 1e-6;
+  for (std::size_t i = 0; i < p.size(); i += 7) {  // spot check
+    Vec pp = p;
+    pp[i] += h;
+    net.set_parameters(pp);
+    const double yp = net.forward(x)[0];
+    pp[i] -= 2 * h;
+    net.set_parameters(pp);
+    const double ym = net.forward(x)[0];
+    net.set_parameters(p);
+    EXPECT_NEAR(grad[i], (yp - ym) / (2 * h), 1e-5)
+        << "parameter index " << i;
+  }
+}
+
+TEST(Mlp, GradientCheckReluInputGradient) {
+  Rng rng(4);
+  Mlp net(3, {8}, 2, Activation::kRelu, Activation::kIdentity, rng);
+  const Vec x{0.5, -0.3, 0.9};
+  Mlp::Workspace ws;
+  net.forward(x, ws);
+  Vec grad(net.parameter_count(), 0.0);
+  const Vec dy{1.0, -2.0};
+  const Vec dx = net.backward(ws, dy, grad);
+
+  const double h = 1e-6;
+  for (std::size_t i = 0; i < 3; ++i) {
+    Vec xp = x;
+    xp[i] += h;
+    const Vec yp = net.forward(xp);
+    xp[i] -= 2 * h;
+    const Vec ym = net.forward(xp);
+    const double fd = (dot(dy, yp) - dot(dy, ym)) / (2 * h);
+    EXPECT_NEAR(dx[i], fd, 1e-5);
+  }
+}
+
+TEST(Mlp, BackwardAccumulatesAcrossSamples) {
+  Rng rng(5);
+  Mlp net(1, {3}, 1, Activation::kTanh, Activation::kIdentity, rng);
+  Vec g1(net.parameter_count(), 0.0);
+  Mlp::Workspace ws;
+  net.forward(Vec{0.5}, ws);
+  net.backward(ws, Vec{1.0}, g1);
+  // Same sample twice accumulates exactly double.
+  Vec g2(net.parameter_count(), 0.0);
+  net.forward(Vec{0.5}, ws);
+  net.backward(ws, Vec{1.0}, g2);
+  net.forward(Vec{0.5}, ws);
+  net.backward(ws, Vec{1.0}, g2);
+  for (std::size_t i = 0; i < g1.size(); ++i)
+    EXPECT_NEAR(g2[i], 2.0 * g1[i], 1e-12);
+}
+
+TEST(Mlp, SoftUpdateInterpolates) {
+  Rng rng(6);
+  Mlp a(2, {4}, 1, Activation::kRelu, Activation::kTanh, rng);
+  Mlp b(2, {4}, 1, Activation::kRelu, Activation::kTanh, rng);
+  const Vec pa = a.parameters();
+  const Vec pb = b.parameters();
+  a.soft_update_from(b, 0.25);
+  const Vec pc = a.parameters();
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    EXPECT_NEAR(pc[i], 0.75 * pa[i] + 0.25 * pb[i], 1e-12);
+}
+
+TEST(Mlp, RejectsBadShapes) {
+  Rng rng(7);
+  Mlp net(2, {4}, 1, Activation::kRelu, Activation::kTanh, rng);
+  EXPECT_THROW(net.set_parameters(Vec(3)), PreconditionError);
+  Mlp other(3, {4}, 1, Activation::kRelu, Activation::kTanh, rng);
+  EXPECT_THROW(net.soft_update_from(other, 0.1), PreconditionError);
+  EXPECT_THROW(Mlp(0, {}, 1, Activation::kRelu, Activation::kTanh, rng),
+               PreconditionError);
+}
+
+TEST(Activations, Values) {
+  const Vec pre{-1.0, 0.0, 2.0};
+  const Vec relu = activate(Activation::kRelu, pre);
+  EXPECT_DOUBLE_EQ(relu[0], 0.0);
+  EXPECT_DOUBLE_EQ(relu[2], 2.0);
+  const Vec th = activate(Activation::kTanh, pre);
+  EXPECT_NEAR(th[0], std::tanh(-1.0), 1e-15);
+  const Vec id = activate(Activation::kIdentity, pre);
+  EXPECT_DOUBLE_EQ(id[0], -1.0);
+}
+
+}  // namespace
+}  // namespace scs

@@ -1,0 +1,113 @@
+// Tests for monomials, the graded-lex order, and basis enumeration.
+#include <gtest/gtest.h>
+
+#include "poly/basis.hpp"
+#include "poly/monomial.hpp"
+#include "util/check.hpp"
+
+namespace scs {
+namespace {
+
+TEST(Monomial, DegreeAndEvaluate) {
+  const Monomial m({2, 0, 1});  // x1^2 x3
+  EXPECT_EQ(m.degree(), 3);
+  EXPECT_DOUBLE_EQ(m.evaluate(Vec{2.0, 5.0, 3.0}), 12.0);
+  EXPECT_EQ(m.to_string(), "x1^2*x3");
+}
+
+TEST(Monomial, ConstantMonomial) {
+  const Monomial one(3);
+  EXPECT_TRUE(one.is_constant());
+  EXPECT_DOUBLE_EQ(one.evaluate(Vec{7.0, 8.0, 9.0}), 1.0);
+  EXPECT_EQ(one.to_string(), "1");
+}
+
+TEST(Monomial, Product) {
+  const Monomial a({1, 2});
+  const Monomial b({0, 3});
+  const Monomial c = a * b;
+  EXPECT_EQ(c.exponents(), (std::vector<int>{1, 5}));
+}
+
+TEST(Monomial, Derivative) {
+  const Monomial m({3, 1});
+  const auto [k, dm] = m.derivative(0);
+  EXPECT_EQ(k, 3);
+  EXPECT_EQ(dm.exponents(), (std::vector<int>{2, 1}));
+  const auto [k2, dm2] = Monomial({0, 1}).derivative(0);
+  EXPECT_EQ(k2, 0);
+  (void)dm2;
+}
+
+TEST(Monomial, NegativeExponentThrows) {
+  EXPECT_THROW(Monomial({1, -1}), PreconditionError);
+}
+
+TEST(GrlexOrder, MatchesPaperTemplateOrder) {
+  // [x]_2 over two vars must read 1, x1, x2, x1^2, x1 x2, x2^2.
+  const auto basis = monomials_up_to(2, 2);
+  ASSERT_EQ(basis.size(), 6u);
+  EXPECT_EQ(basis[0].to_string(), "1");
+  EXPECT_EQ(basis[1].to_string(), "x1");
+  EXPECT_EQ(basis[2].to_string(), "x2");
+  EXPECT_EQ(basis[3].to_string(), "x1^2");
+  EXPECT_EQ(basis[4].to_string(), "x1*x2");
+  EXPECT_EQ(basis[5].to_string(), "x2^2");
+}
+
+TEST(GrlexOrder, IsStrictWeakOrder) {
+  const GrlexLess less;
+  const auto basis = monomials_up_to(3, 3);
+  for (std::size_t i = 0; i < basis.size(); ++i) {
+    EXPECT_FALSE(less(basis[i], basis[i]));
+    for (std::size_t j = i + 1; j < basis.size(); ++j) {
+      EXPECT_TRUE(less(basis[i], basis[j]));
+      EXPECT_FALSE(less(basis[j], basis[i]));
+    }
+  }
+}
+
+TEST(Basis, CountMatchesBinomial) {
+  // v = C(n+d, d).
+  EXPECT_EQ(monomial_count(2, 3), 10u);
+  EXPECT_EQ(monomial_count(9, 2), 55u);
+  EXPECT_EQ(monomial_count(12, 1), 13u);
+  EXPECT_EQ(monomial_count(4, 0), 1u);
+}
+
+class BasisSizes : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BasisSizes, EnumerationMatchesCount) {
+  const auto [n, d] = GetParam();
+  const auto basis = monomials_up_to(n, d);
+  EXPECT_EQ(basis.size(), monomial_count(n, d));
+  // All degrees bounded, no duplicates (strict grlex order implies both).
+  const GrlexLess less;
+  for (std::size_t i = 0; i + 1 < basis.size(); ++i) {
+    EXPECT_LE(basis[i].degree(), d);
+    EXPECT_TRUE(less(basis[i], basis[i + 1]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BasisSizes,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 9),
+                       ::testing::Values(0, 1, 2, 3, 4)));
+
+TEST(Basis, EvaluateBasisMatchesPerMonomial) {
+  const auto basis = monomials_up_to(3, 4);
+  const Vec x{0.5, -1.2, 2.0};
+  const Vec vals = evaluate_basis(basis, x);
+  ASSERT_EQ(vals.size(), basis.size());
+  for (std::size_t i = 0; i < basis.size(); ++i)
+    EXPECT_NEAR(vals[i], basis[i].evaluate(x), 1e-12);
+}
+
+TEST(PowInt, MatchesStdPow) {
+  EXPECT_DOUBLE_EQ(pow_int(2.0, 10), 1024.0);
+  EXPECT_DOUBLE_EQ(pow_int(-3.0, 3), -27.0);
+  EXPECT_DOUBLE_EQ(pow_int(5.0, 0), 1.0);
+}
+
+}  // namespace
+}  // namespace scs

@@ -1,0 +1,81 @@
+// Tests for the polynomial text parser.
+#include <gtest/gtest.h>
+
+#include "poly/basis.hpp"
+#include "poly/parse.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace scs {
+namespace {
+
+TEST(Parse, SimpleLinear) {
+  const Polynomial p = parse_polynomial("2*x1 - 3*x2 + 1", 2);
+  EXPECT_DOUBLE_EQ(p.evaluate(Vec{1.0, 1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(p.evaluate(Vec{2.0, 0.0}), 5.0);
+}
+
+TEST(Parse, PendulumDynamicsLine) {
+  // The paper's Example-1 second component (without u).
+  const Polynomial p = parse_polynomial(
+      "-0.056*x1^5 + 1.56*x1^3 - 9.875*x1 - 0.1*x2", 2);
+  EXPECT_NEAR(p.evaluate(Vec{1.0, 1.0}), -0.056 + 1.56 - 9.875 - 0.1, 1e-12);
+  EXPECT_EQ(p.degree(), 5);
+}
+
+TEST(Parse, PowersAndProducts) {
+  const Polynomial p = parse_polynomial("x1^2*x2 + x1*x2^2", 2);
+  EXPECT_DOUBLE_EQ(p.evaluate(Vec{2.0, 3.0}), 12.0 + 18.0);
+}
+
+TEST(Parse, ParenthesesAndSigns) {
+  const Polynomial p = parse_polynomial("-(x1 - 2)*(x1 + 2)", 1);
+  // -(x^2 - 4) = 4 - x^2.
+  EXPECT_DOUBLE_EQ(p.evaluate(Vec{0.0}), 4.0);
+  EXPECT_DOUBLE_EQ(p.evaluate(Vec{3.0}), -5.0);
+}
+
+TEST(Parse, ScientificNotation) {
+  const Polynomial p = parse_polynomial("1e-3*x1 + 2.5E2", 1);
+  EXPECT_DOUBLE_EQ(p.evaluate(Vec{1000.0}), 1.0 + 250.0);
+}
+
+TEST(Parse, ConstantOnly) {
+  const Polynomial p = parse_polynomial("  -7.25 ", 3);
+  EXPECT_TRUE(p.degree() <= 0);
+  EXPECT_DOUBLE_EQ(p.evaluate(Vec{1.0, 2.0, 3.0}), -7.25);
+}
+
+TEST(Parse, PowerOfParenthesizedExpression) {
+  const Polynomial p = parse_polynomial("(x1 + x2)^3", 2);
+  EXPECT_DOUBLE_EQ(p.evaluate(Vec{1.0, 1.0}), 8.0);
+  EXPECT_EQ(p.term_count(), 4u);
+}
+
+class ParseRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParseRoundTrip, ToStringParsesBack) {
+  Rng rng(GetParam());
+  const std::size_t n = 1 + rng.index(4);
+  const auto basis = monomials_up_to(n, 3);
+  Vec c(basis.size());
+  for (auto& v : c) v = rng.uniform(-3.0, 3.0);
+  const Polynomial p = Polynomial::from_coefficients(basis, c);
+  const Polynomial q = parse_polynomial(p.to_string(17), n);
+  EXPECT_LT(max_coefficient_diff(p, q), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParseRoundTrip, ::testing::Range(1, 16));
+
+TEST(Parse, RejectsSyntaxErrors) {
+  EXPECT_THROW(parse_polynomial("x3", 2), PreconditionError);   // var range
+  EXPECT_THROW(parse_polynomial("x0", 2), PreconditionError);   // 1-based
+  EXPECT_THROW(parse_polynomial("x1 +", 2), PreconditionError);
+  EXPECT_THROW(parse_polynomial("(x1", 2), PreconditionError);
+  EXPECT_THROW(parse_polynomial("x1 x2", 2), PreconditionError);
+  EXPECT_THROW(parse_polynomial("x1^", 2), PreconditionError);
+  EXPECT_THROW(parse_polynomial("", 2), PreconditionError);
+}
+
+}  // namespace
+}  // namespace scs

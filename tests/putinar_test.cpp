@@ -1,0 +1,104 @@
+// Tests for the general Putinar positivity certifier.
+#include <gtest/gtest.h>
+
+#include "sos/certificate.hpp"
+#include "sos/putinar.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace scs {
+namespace {
+
+Polynomial ball_constraint(std::size_t n, double radius) {
+  Polynomial g = Polynomial::constant(n, radius * radius);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto xi = Polynomial::variable(n, i);
+    g -= xi * xi;
+  }
+  return g;
+}
+
+TEST(Putinar, GloballySosPolynomial) {
+  // f = x1^2 + 1 >= 1 everywhere (no constraints).
+  const auto x = Polynomial::variable(1, 0);
+  const Polynomial f = x * x + Polynomial::constant(1, 1.0);
+  PutinarOptions opts;
+  opts.margin = 0.9;
+  const auto cert = certify_nonnegativity(f, {}, opts);
+  ASSERT_TRUE(cert.has_value());
+  EXPECT_LT(cert->identity_residual, 1e-4);
+}
+
+TEST(Putinar, PositivityOnBallOnly) {
+  // f = 1 - x1^2 - x2^2 + 0.2 is >= 0.2 on the unit ball but negative
+  // outside: needs the ball multiplier.
+  const Polynomial g = ball_constraint(2, 1.0);
+  const Polynomial f = g + Polynomial::constant(2, 0.2);
+  // Globally (no constraints): not SOS-certifiable.
+  EXPECT_FALSE(certify_nonnegativity(f, {}).has_value());
+  // On the ball: certifiable.
+  const auto cert = certify_nonnegativity(f, {g});
+  ASSERT_TRUE(cert.has_value());
+  // Certificate identity cross-check.
+  EXPECT_TRUE(check_putinar_identity(
+      f, cert->sigma0, {g}, cert->multipliers, 1e-3));
+}
+
+TEST(Putinar, RespectsMargin) {
+  // f = x^2 on [-1,1]: f >= 0 certifiable, f >= 0.5 not.
+  const auto x = Polynomial::variable(1, 0);
+  const Polynomial f = x * x;
+  const Polynomial g = ball_constraint(1, 1.0);
+  PutinarOptions ok;
+  ok.margin = -1e-6;
+  EXPECT_TRUE(certify_nonnegativity(f, {g}, ok).has_value());
+  PutinarOptions too_much;
+  too_much.margin = 0.5;
+  EXPECT_FALSE(certify_nonnegativity(f, {g}, too_much).has_value());
+}
+
+TEST(Putinar, HigherDegreeCertificateWhenRequested) {
+  // f = x (1 - x) on [0, 1] needs degree-2 multipliers (classical example).
+  const auto x = Polynomial::variable(1, 0);
+  const Polynomial f = x * (Polynomial::constant(1, 1.0) - x);
+  const Polynomial g1 = x;
+  const Polynomial g2 = Polynomial::constant(1, 1.0) - x;
+  PutinarOptions low;
+  low.certificate_degree = 2;
+  low.margin = -1e-9;
+  // With degree-2 budget the multipliers are degree <= 0 each: infeasible
+  // (the leading -x^2 cannot be matched).
+  EXPECT_FALSE(certify_nonnegativity(f, {g1, g2}, low).has_value());
+  PutinarOptions high;
+  high.certificate_degree = 4;
+  high.margin = -1e-9;
+  EXPECT_TRUE(certify_nonnegativity(f, {g1, g2}, high).has_value());
+}
+
+class PutinarRandomBalls : public ::testing::TestWithParam<int> {};
+
+TEST_P(PutinarRandomBalls, ShiftedBallFunctionsCertify) {
+  // f = c - ||x||^2 with c > r^2 is positive on the r-ball.
+  Rng rng(GetParam());
+  const std::size_t n = 1 + rng.index(3);
+  const double r = rng.uniform(0.5, 1.5);
+  const double c = r * r + rng.uniform(0.1, 1.0);
+  Polynomial f = Polynomial::constant(n, c);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto xi = Polynomial::variable(n, i);
+    f -= xi * xi;
+  }
+  const auto cert = certify_nonnegativity(f, {ball_constraint(n, r)});
+  EXPECT_TRUE(cert.has_value()) << "n=" << n << " r=" << r << " c=" << c;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PutinarRandomBalls, ::testing::Range(1, 11));
+
+TEST(Putinar, RejectsMismatchedVariables) {
+  EXPECT_THROW(certify_nonnegativity(Polynomial::variable(2, 0),
+                                     {Polynomial::variable(3, 0)}),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace scs

@@ -1,0 +1,113 @@
+// Tests for the replay buffer and OU exploration noise.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rl/noise.hpp"
+#include "rl/replay.hpp"
+#include "util/check.hpp"
+
+namespace scs {
+namespace {
+
+Transition make_transition(double tag) {
+  Transition t;
+  t.state = Vec{tag};
+  t.action = Vec{0.0};
+  t.reward = tag;
+  t.next_state = Vec{tag + 1.0};
+  t.done = false;
+  return t;
+}
+
+TEST(ReplayBuffer, FillsThenWraps) {
+  ReplayBuffer buf(3);
+  for (int i = 0; i < 5; ++i) buf.add(make_transition(i));
+  EXPECT_EQ(buf.size(), 3u);
+  // Ring behavior: items 0 and 1 were overwritten by 3 and 4.
+  double min_reward = 1e9;
+  for (std::size_t i = 0; i < buf.size(); ++i)
+    min_reward = std::min(min_reward, buf[i].reward);
+  EXPECT_GE(min_reward, 2.0);
+}
+
+TEST(ReplayBuffer, SampleReturnsStoredTransitions) {
+  ReplayBuffer buf(100);
+  for (int i = 0; i < 50; ++i) buf.add(make_transition(i));
+  Rng rng(1);
+  const auto batch = buf.sample(32, rng);
+  EXPECT_EQ(batch.size(), 32u);
+  for (const Transition* t : batch) {
+    EXPECT_GE(t->reward, 0.0);
+    EXPECT_LT(t->reward, 50.0);
+    EXPECT_DOUBLE_EQ(t->next_state[0], t->state[0] + 1.0);
+  }
+}
+
+TEST(ReplayBuffer, SampleCoversBuffer) {
+  ReplayBuffer buf(10);
+  for (int i = 0; i < 10; ++i) buf.add(make_transition(i));
+  Rng rng(2);
+  std::vector<bool> seen(10, false);
+  for (int round = 0; round < 50; ++round)
+    for (const Transition* t : buf.sample(10, rng))
+      seen[static_cast<std::size_t>(t->reward)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(ReplayBuffer, EmptySampleThrows) {
+  ReplayBuffer buf(4);
+  Rng rng(3);
+  EXPECT_THROW(buf.sample(1, rng), PreconditionError);
+  EXPECT_THROW(ReplayBuffer(0), PreconditionError);
+}
+
+TEST(OuNoise, MeanRevertsTowardZero) {
+  OuNoise noise(1, /*theta=*/0.5, /*sigma=*/0.0);
+  Rng rng(4);
+  // With sigma = 0 the process decays deterministically.
+  noise.reset();
+  // Seed a nonzero state by sampling once with volatility...
+  OuNoise noisy(1, 0.5, 1.0);
+  Vec s = noisy.sample(rng);
+  (void)s;
+  // Deterministic check: run the zero-vol process from a known start.
+  // (state starts at 0 and stays 0.)
+  const Vec v = noise.sample(rng);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+}
+
+TEST(OuNoise, StationaryVarianceIsBounded) {
+  OuNoise noise(1, 0.15, 0.2);
+  Rng rng(5);
+  double acc2 = 0.0;
+  const int steps = 20000;
+  for (int i = 0; i < steps; ++i) {
+    const Vec v = noise.sample(rng);
+    acc2 += v[0] * v[0];
+  }
+  // OU stationary variance = sigma^2 / (2 theta) = 0.04 / 0.3 = 0.1333.
+  const double var = acc2 / steps;
+  EXPECT_NEAR(var, 0.1333, 0.05);
+}
+
+TEST(OuNoise, ResetZeroesState) {
+  OuNoise noise(2, 0.15, 0.5);
+  Rng rng(6);
+  noise.sample(rng);
+  noise.sample(rng);
+  noise.reset();
+  noise.set_sigma(0.0);
+  const Vec v = noise.sample(rng);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[1], 0.0);
+}
+
+TEST(OuNoise, RejectsBadParams) {
+  EXPECT_THROW(OuNoise(0), PreconditionError);
+  OuNoise noise(1);
+  EXPECT_THROW(noise.set_sigma(-1.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace scs

@@ -1,0 +1,101 @@
+// Tests for the Table 1 / Table 2 plain-text formatting.
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+
+namespace scs {
+namespace {
+
+PacResult sample_pac_result() {
+  PacResult pac;
+  pac.success = true;
+  PacTraceRow r1;
+  r1.degree = 1;
+  r1.eta = 1e-6;
+  r1.eps = 0.0001;
+  r1.samples = 356311;
+  r1.samples_used = 356311;
+  r1.error = 0.150963;
+  r1.delta_e = 6e-5;
+  r1.converged = true;
+  PacTraceRow r2 = r1;
+  r2.degree = 2;
+  r2.eps = 0.001;
+  r2.samples_used = 41632;
+  r2.error = 0.065265;
+  PacTraceRow r3 = r2;
+  r3.degree = 3;
+  r3.samples_used = 49632;
+  r3.error = 0.029328;
+  r3.accepted = true;
+  pac.trace = {r1, r2, r3};
+  pac.model.degree = 3;
+  pac.model.eps = 0.001;
+  pac.model.eta = 1e-6;
+  pac.model.error = 0.029328;
+  pac.model.samples = 49632;
+  return pac;
+}
+
+TEST(Report, Table1HasOneRowPerDegree) {
+  const std::string table = format_table1(sample_pac_result(), 0.05);
+  // Header + 3 degree rows.
+  int lines = 0;
+  for (char c : table)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, 4);
+  EXPECT_NE(table.find("49632"), std::string::npos);
+  EXPECT_NE(table.find("0.150963"), std::string::npos);
+}
+
+TEST(Report, Table2RowContainsPipelineData) {
+  const Benchmark bench = make_benchmark(BenchmarkId::kC1);
+  SynthesisResult result;
+  result.benchmark = "C1";
+  result.dnn_structure = "2-20-20-20-20-1";
+  result.pac = sample_pac_result();
+  result.controller = {Polynomial(2)};
+  result.barrier.success = true;
+  result.barrier.degree = 4;
+  result.barrier.seconds = 2.871;
+  result.success = true;
+
+  NnControllerResult baseline;
+  baseline.verified = true;
+  baseline.barrier_structure = "2-30-1";
+  baseline.verify_seconds = 32.5;
+
+  const std::string header = table2_header();
+  const std::string row = table2_row(bench, result, &baseline);
+  EXPECT_NE(header.find("T_p(s)"), std::string::npos);
+  EXPECT_NE(row.find("C1"), std::string::npos);
+  EXPECT_NE(row.find("2-20-20-20-20-1"), std::string::npos);
+  EXPECT_NE(row.find("2.871"), std::string::npos);
+  EXPECT_NE(row.find("2-30-1"), std::string::npos);
+}
+
+TEST(Report, FailedBaselineShowsCross) {
+  const Benchmark bench = make_benchmark(BenchmarkId::kC8);
+  SynthesisResult result;
+  result.pac = sample_pac_result();
+  result.controller = {Polynomial(9)};
+  result.barrier.success = true;
+  result.barrier.degree = 2;
+  result.success = true;
+  NnControllerResult baseline;  // verified = false
+  const std::string row = table2_row(bench, result, &baseline);
+  EXPECT_NE(row.find('x'), std::string::npos);
+}
+
+TEST(Report, MissingBaselineShowsDash) {
+  const Benchmark bench = make_benchmark(BenchmarkId::kC3);
+  SynthesisResult result;
+  result.pac = sample_pac_result();
+  result.controller = {Polynomial(3)};
+  result.barrier.success = false;
+  const std::string row = table2_row(bench, result, nullptr);
+  EXPECT_NE(row.find('-'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scs

@@ -1,0 +1,98 @@
+// Tests for variable rescaling (Polynomial::scale_vars) and the SOS
+// point-constraint mechanism -- the two ingredients of the unit-box
+// normalization that makes the barrier SDP well conditioned.
+#include <gtest/gtest.h>
+
+#include "poly/basis.hpp"
+#include "sos/sos_program.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace scs {
+namespace {
+
+TEST(ScaleVars, MatchesSubstitutionSemantics) {
+  // q(x) = p(s .* x).
+  Rng rng(1);
+  const auto basis = monomials_up_to(3, 4);
+  Vec c(basis.size());
+  for (auto& v : c.data()) v = rng.uniform(-1.0, 1.0);
+  const Polynomial p = Polynomial::from_coefficients(basis, c);
+  const Vec s{2.0, 0.5, -1.5};
+  const Polynomial q = p.scale_vars(s);
+  for (int t = 0; t < 30; ++t) {
+    const Vec x(rng.uniform_vector(3, -1.0, 1.0));
+    EXPECT_NEAR(q.evaluate(x), p.evaluate(hadamard(s, x)),
+                1e-10 * (1.0 + std::fabs(q.evaluate(x))));
+  }
+}
+
+TEST(ScaleVars, InverseScaleRoundTrips) {
+  Rng rng(2);
+  const auto basis = monomials_up_to(2, 5);
+  Vec c(basis.size());
+  for (auto& v : c.data()) v = rng.uniform(-2.0, 2.0);
+  const Polynomial p = Polynomial::from_coefficients(basis, c);
+  const Vec s{3.0, 0.25};
+  const Vec s_inv{1.0 / 3.0, 4.0};
+  const Polynomial back = p.scale_vars(s).scale_vars(s_inv);
+  EXPECT_LT(max_coefficient_diff(back, p), 1e-10);
+}
+
+TEST(ScaleVars, PreservesDegreeAndStructure) {
+  const auto x1 = Polynomial::variable(2, 0);
+  const auto x2 = Polynomial::variable(2, 1);
+  const Polynomial p = x1.pow(3) * x2 - x2 * 2.0;
+  const Polynomial q = p.scale_vars(Vec{2.0, 3.0});
+  EXPECT_EQ(q.degree(), p.degree());
+  EXPECT_EQ(q.term_count(), p.term_count());
+  EXPECT_DOUBLE_EQ(q.coefficient(Monomial({3, 1})), 8.0 * 3.0);
+  EXPECT_DOUBLE_EQ(q.coefficient(Monomial({0, 1})), -6.0);
+}
+
+TEST(ScaleVars, RejectsWrongDimension) {
+  EXPECT_THROW(Polynomial::variable(2, 0).scale_vars(Vec{1.0}),
+               PreconditionError);
+}
+
+TEST(SosPointConstraint, PinsFreePolynomialValue) {
+  // Free quadratic f with df/dx == 2x (so f = x^2 + c) and f(2) = 7
+  // pins c = 3.
+  SosProgram prog(1);
+  const auto f = prog.add_free_poly(monomials_up_to(1, 2));
+  const Polynomial one = Polynomial::constant(1, 1.0);
+  prog.add_identity(-Polynomial::variable(1, 0) * 2.0, {{one, f, 0}});
+  prog.add_point_constraint(f, Vec{2.0}, 7.0);
+  const auto result = prog.solve();
+  ASSERT_TRUE(result.feasible) << result.failure_reason;
+  EXPECT_NEAR(result.value(f).evaluate(Vec{2.0}), 7.0, 1e-6);
+  EXPECT_NEAR(result.value(f).evaluate(Vec{0.0}), 3.0, 1e-6);
+}
+
+TEST(SosPointConstraint, WorksOnSosVariables) {
+  // SOS s over degree-1 basis with s(0) = 4 and s - (x^2 + free const)...
+  // simpler: require s SOS with s(1) = 2 and s - 2 x^2 == free constant c:
+  // then s = 2x^2 + c, s(1) = 2 + c = 2 -> c = 0.
+  SosProgram prog(1);
+  const auto s = prog.add_sos_poly(monomials_up_to(1, 1));
+  const auto c = prog.add_free_poly({Monomial(1)});
+  const auto x = Polynomial::variable(1, 0);
+  const Polynomial one = Polynomial::constant(1, 1.0);
+  prog.add_identity(x * x * (-2.0), {{one, s, {}}, {-one, c, {}}});
+  prog.add_point_constraint(s, Vec{1.0}, 2.0);
+  const auto result = prog.solve();
+  ASSERT_TRUE(result.feasible) << result.failure_reason;
+  EXPECT_NEAR(result.value(c).evaluate(Vec{0.0}), 0.0, 1e-5);
+}
+
+TEST(SosPointConstraint, RejectsBadInput) {
+  SosProgram prog(2);
+  const auto f = prog.add_free_poly(monomials_up_to(2, 1));
+  EXPECT_THROW(prog.add_point_constraint(f, Vec{1.0}, 0.0),
+               PreconditionError);
+  EXPECT_THROW(prog.add_point_constraint({99}, Vec{1.0, 1.0}, 0.0),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace scs

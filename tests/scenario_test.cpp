@@ -1,0 +1,79 @@
+// Tests for the scenario-optimization sample bounds (Theorems 2-3),
+// cross-checked against the K values printed in the paper's tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pac/scenario.hpp"
+#include "util/check.hpp"
+
+namespace scs {
+namespace {
+
+TEST(Scenario, MatchesPaperTable1Row3) {
+  // C1 / Table 1, d = 3: n = 2, d = 3 -> kappa = C(5,3) + 1 = 11;
+  // eps = 0.001, eta = 1e-6 -> K = 49632 (as printed in the paper).
+  const std::size_t kappa = pac_template_kappa(2, 3);
+  EXPECT_EQ(kappa, 11u);
+  EXPECT_EQ(scenario_sample_count(0.001, 1e-6, kappa), 49632u);
+}
+
+TEST(Scenario, MatchesPaperTable2RowC4) {
+  // C4: n = 4, d_p = 1 -> kappa = 5 + 1 = 6; eps = 1e-4 -> K = 396311.
+  const std::size_t kappa = pac_template_kappa(4, 1);
+  EXPECT_EQ(kappa, 6u);
+  EXPECT_EQ(scenario_sample_count(0.0001, 1e-6, kappa), 396311u);
+}
+
+TEST(Scenario, MatchesPaperTable2RowC3) {
+  // C3: n = 3, d_p = 2 -> kappa = C(5,2) + 1 = 11; eps = 0.01 -> K = 4964.
+  EXPECT_EQ(pac_template_kappa(3, 2), 11u);
+  EXPECT_EQ(scenario_sample_count(0.01, 1e-6, 11), 4964u);
+}
+
+TEST(Scenario, MatchesPaperTable2RowC10) {
+  // C10: n = 12, d_p = 1 -> kappa = 13 + 1 = 14; eps = 0.01 -> K = 5564.
+  EXPECT_EQ(pac_template_kappa(12, 1), 14u);
+  EXPECT_EQ(scenario_sample_count(0.01, 1e-6, 14), 5564u);
+}
+
+TEST(Scenario, KMonotoneInEpsAndKappa) {
+  EXPECT_GT(scenario_sample_count(0.001, 1e-6, 10),
+            scenario_sample_count(0.01, 1e-6, 10));
+  EXPECT_GT(scenario_sample_count(0.01, 1e-6, 50),
+            scenario_sample_count(0.01, 1e-6, 10));
+  EXPECT_GT(scenario_sample_count(0.01, 1e-9, 10),
+            scenario_sample_count(0.01, 1e-3, 10));
+}
+
+TEST(Scenario, EpsForSamplesInvertsTheBound) {
+  const std::size_t kappa = 11;
+  const std::uint64_t k = scenario_sample_count(0.001, 1e-6, kappa);
+  const double eps = scenario_eps_for_samples(k, 1e-6, kappa);
+  // The achievable eps at the rounded-up K is at most the requested one.
+  EXPECT_LE(eps, 0.001 + 1e-12);
+  EXPECT_GT(eps, 0.00099);
+}
+
+TEST(Scenario, SatisfiesTheorem2Inequality) {
+  for (double eps : {0.1, 0.01, 0.001}) {
+    for (std::size_t kappa : {3u, 11u, 56u}) {
+      const std::uint64_t k = scenario_sample_count(eps, 1e-6, kappa);
+      // eps >= (2/K)(ln(1/eta) + kappa) must hold at the returned K...
+      EXPECT_GE(eps + 1e-12, (2.0 / static_cast<double>(k)) *
+                                 (std::log(1e6) + kappa));
+      // ...and fail at K - 1 (least such K).
+      EXPECT_LT(eps, (2.0 / static_cast<double>(k - 1)) *
+                         (std::log(1e6) + kappa) + 1e-12);
+    }
+  }
+}
+
+TEST(Scenario, RejectsBadArguments) {
+  EXPECT_THROW(scenario_sample_count(0.0, 1e-6, 5), PreconditionError);
+  EXPECT_THROW(scenario_sample_count(0.5, 0.0, 5), PreconditionError);
+  EXPECT_THROW(scenario_eps_for_samples(0, 1e-6, 5), PreconditionError);
+}
+
+}  // namespace
+}  // namespace scs

@@ -1,0 +1,121 @@
+// Property-based tests for the interior-point SDP solver: weak duality,
+// complementarity at convergence, invariance under constraint scaling, and
+// block-diagonal separability.
+#include <gtest/gtest.h>
+
+#include "math/eigen_sym.hpp"
+#include "opt/sdp.hpp"
+#include "util/rng.hpp"
+
+namespace scs {
+namespace {
+
+/// Build a random feasible min-trace problem around a known interior X0.
+SdpProblem random_feasible(std::size_t n, std::size_t m, Rng& rng,
+                           Mat* x0_out = nullptr) {
+  Mat l(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j <= i; ++j) l(i, j) = rng.normal();
+  Mat x0 = matmul_a_bt(l, l);
+  for (std::size_t i = 0; i < n; ++i) x0(i, i) += 1.0;
+
+  SdpProblem p;
+  p.block_dims = {n};
+  p.block_obj_weight = {1.0};
+  for (std::size_t i = 0; i < m; ++i) {
+    SdpConstraint c;
+    const std::size_t nnz = 1 + rng.index(3);
+    double rhs = 0.0;
+    for (std::size_t e = 0; e < nnz; ++e) {
+      const std::size_t r = rng.index(n);
+      const std::size_t cc = r + rng.index(n - r);
+      const double v = rng.uniform(-1.0, 1.0);
+      c.entries.push_back({0, r, cc, v});
+      rhs += (r == cc) ? v * x0(r, r) : 2.0 * v * x0(r, cc);
+    }
+    c.rhs = rhs;
+    p.constraints.push_back(c);
+  }
+  if (x0_out != nullptr) *x0_out = x0;
+  return p;
+}
+
+class SdpDuality : public ::testing::TestWithParam<int> {};
+
+TEST_P(SdpDuality, WeakDualityAndComplementarity) {
+  Rng rng(100 + GetParam());
+  const std::size_t n = 3 + rng.index(4);
+  const std::size_t m = 2 + rng.index(4);
+  const SdpProblem p = random_feasible(n, m, rng);
+  const SdpSolution sol = solve_sdp(p);
+  ASSERT_EQ(sol.status, SdpStatus::kConverged);
+
+  // Weak duality: b' y <= <C, X> (+ small numerical slack).
+  double by = 0.0;
+  for (std::size_t i = 0; i < m; ++i) by += p.constraints[i].rhs * sol.y[i];
+  EXPECT_LE(by, sol.primal_objective + 1e-5 * (1.0 + std::fabs(by)));
+  // Near-complementarity: the normalized gap is tiny.
+  EXPECT_LT(sol.duality_gap, 1e-6);
+  // Dual slack S = C - At(y) is PSD: check via its minimum eigenvalue.
+  Mat s = Mat::identity(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (const auto& e : p.constraints[i].entries) {
+      s(e.row, e.col) -= e.value * sol.y[i];
+      if (e.row != e.col) s(e.col, e.row) -= e.value * sol.y[i];
+    }
+  }
+  EXPECT_GT(min_eigenvalue(s), -1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SdpDuality, ::testing::Range(1, 16));
+
+TEST(SdpProperty, ObjectiveNoWorseThanKnownFeasiblePoint) {
+  Rng rng(7);
+  Mat x0;
+  const SdpProblem p = random_feasible(5, 4, rng, &x0);
+  const SdpSolution sol = solve_sdp(p);
+  ASSERT_EQ(sol.status, SdpStatus::kConverged);
+  EXPECT_LE(sol.primal_objective, x0.trace() + 1e-6 * x0.trace());
+}
+
+TEST(SdpProperty, ScalingConstraintsPreservesSolution) {
+  Rng rng(9);
+  const SdpProblem p = random_feasible(4, 3, rng);
+  SdpProblem scaled = p;
+  for (auto& c : scaled.constraints) {
+    for (auto& e : c.entries) e.value *= 10.0;
+    c.rhs *= 10.0;
+  }
+  const SdpSolution a = solve_sdp(p);
+  const SdpSolution b = solve_sdp(scaled);
+  ASSERT_EQ(a.status, SdpStatus::kConverged);
+  ASSERT_EQ(b.status, SdpStatus::kConverged);
+  EXPECT_NEAR(a.primal_objective, b.primal_objective,
+              1e-4 * (1.0 + a.primal_objective));
+}
+
+TEST(SdpProperty, IndependentBlocksSolveSeparably) {
+  // Two copies of the same single-block problem in one two-block problem
+  // must give twice the objective.
+  Rng rng(11);
+  const SdpProblem single = random_feasible(4, 3, rng);
+  SdpProblem doubled;
+  doubled.block_dims = {4, 4};
+  doubled.block_obj_weight = {1.0, 1.0};
+  for (int copy = 0; copy < 2; ++copy) {
+    for (const auto& c : single.constraints) {
+      SdpConstraint c2 = c;
+      for (auto& e : c2.entries) e.block = static_cast<std::size_t>(copy);
+      doubled.constraints.push_back(c2);
+    }
+  }
+  const SdpSolution s1 = solve_sdp(single);
+  const SdpSolution s2 = solve_sdp(doubled);
+  ASSERT_EQ(s1.status, SdpStatus::kConverged);
+  ASSERT_EQ(s2.status, SdpStatus::kConverged);
+  EXPECT_NEAR(s2.primal_objective, 2.0 * s1.primal_objective,
+              1e-4 * (1.0 + s1.primal_objective));
+}
+
+}  // namespace
+}  // namespace scs

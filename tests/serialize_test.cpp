@@ -1,0 +1,68 @@
+// Tests for MLP text serialization.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "nn/serialize.hpp"
+#include "util/check.hpp"
+
+namespace scs {
+namespace {
+
+TEST(Serialize, RoundTripPreservesOutputs) {
+  Rng rng(1);
+  Mlp net(3, {10, 10}, 2, Activation::kRelu, Activation::kTanh, rng);
+  std::stringstream ss;
+  save_mlp(net, ss);
+  const Mlp loaded = load_mlp(ss);
+  EXPECT_EQ(loaded.structure_string(), net.structure_string());
+  for (int i = 0; i < 20; ++i) {
+    const Vec x(rng.uniform_vector(3, -2.0, 2.0));
+    EXPECT_LT(max_abs_diff(net.forward(x), loaded.forward(x)), 1e-12);
+  }
+}
+
+TEST(Serialize, RoundTripPreservesParametersExactly) {
+  Rng rng(2);
+  Mlp net(2, {5}, 1, Activation::kTanh, Activation::kIdentity, rng);
+  std::stringstream ss;
+  save_mlp(net, ss);
+  const Mlp loaded = load_mlp(ss);
+  EXPECT_LT(max_abs_diff(net.parameters(), loaded.parameters()), 1e-15);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  Rng rng(3);
+  Mlp net(2, {6, 6}, 1, Activation::kRelu, Activation::kTanh, rng);
+  const std::string path = "/tmp/scs_serialize_test.mlp";
+  save_mlp_file(net, path);
+  const Mlp loaded = load_mlp_file(path);
+  const Vec x{0.3, -0.9};
+  EXPECT_LT(max_abs_diff(net.forward(x), loaded.forward(x)), 1e-12);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsBadHeader) {
+  std::stringstream ss("not-a-net 1\n");
+  EXPECT_THROW(load_mlp(ss), PreconditionError);
+}
+
+TEST(Serialize, RejectsTruncatedData) {
+  Rng rng(4);
+  Mlp net(2, {4}, 1, Activation::kRelu, Activation::kTanh, rng);
+  std::stringstream ss;
+  save_mlp(net, ss);
+  std::string text = ss.str();
+  text.resize(text.size() / 2);
+  std::stringstream half(text);
+  EXPECT_THROW(load_mlp(half), PreconditionError);
+}
+
+TEST(Serialize, RejectsMissingFile) {
+  EXPECT_THROW(load_mlp_file("/nonexistent/path/net.mlp"),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace scs

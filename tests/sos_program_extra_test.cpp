@@ -1,0 +1,108 @@
+// Additional SOS-compiler coverage: shared variables across identities,
+// derivative-term compilation against hand-expanded equations, and
+// diagnostics on infeasible programs.
+#include <gtest/gtest.h>
+
+#include "poly/basis.hpp"
+#include "sos/sos_program.hpp"
+#include "util/check.hpp"
+
+namespace scs {
+namespace {
+
+Polynomial var(std::size_t n, std::size_t i) {
+  return Polynomial::variable(n, i);
+}
+
+TEST(SosProgramExtra, SharedVariableAcrossIdentities) {
+  // One free quadratic B constrained by two identities simultaneously:
+  //   B - x1^2 - s_a       == 0   (B >= x1^2 globally, as an SOS gap)
+  //   (x1^2 + 4 - B) - s_b == 0   (B <= x1^2 + 4 globally)
+  // Both must hold for the same B.
+  SosProgram prog(1);
+  const auto b = prog.add_free_poly(monomials_up_to(1, 2));
+  const auto sa = prog.add_sos_poly(monomials_up_to(1, 1));
+  const auto sb = prog.add_sos_poly(monomials_up_to(1, 1));
+  const Polynomial one = Polynomial::constant(1, 1.0);
+  const auto x = var(1, 0);
+  prog.add_identity(-(x * x), {{one, b, {}}, {-one, sa, {}}});
+  prog.add_identity(x * x + Polynomial::constant(1, 4.0),
+                    {{-one, b, {}}, {-one, sb, {}}});
+  const auto result = prog.solve();
+  ASSERT_TRUE(result.feasible) << result.failure_reason;
+  const Polynomial bb = result.value(b);
+  // x^2 <= B <= x^2 + 4 on sampled points.
+  for (double t = -1.5; t <= 1.5; t += 0.25) {
+    const double v = bb.evaluate(Vec{t});
+    EXPECT_GE(v, t * t - 1e-4);
+    EXPECT_LE(v, t * t + 4.0 + 1e-4);
+  }
+}
+
+TEST(SosProgramExtra, DerivativeTermEquationsMatchHandExpansion) {
+  // Identity: x2 * dB/dx1 - 3 x1 x2 == 0 over B in span{1, x1, x2, x1^2}.
+  // Hand expansion: dB/dx1 = b_{x1} + 2 b_{x1^2} x1, so the identity's
+  // monomial equations are:
+  //   x2:      b_{x1} = 0
+  //   x1 x2:   2 b_{x1^2} - 3 = 0.
+  SosProgram prog(2);
+  std::vector<Monomial> basis = {Monomial(2), Monomial({1, 0}),
+                                 Monomial({0, 1}), Monomial({2, 0})};
+  const auto b = prog.add_free_poly(basis);
+  prog.add_identity(-(var(2, 0) * var(2, 1) * 3.0), {{var(2, 1), b, 0}});
+  const SdpProblem sdp = prog.compile();
+  EXPECT_EQ(sdp.constraints.size(), 2u);
+  const auto result = prog.solve();
+  ASSERT_TRUE(result.feasible);
+  EXPECT_NEAR(result.value(b).coefficient(Monomial({2, 0})), 1.5, 1e-6);
+  EXPECT_NEAR(result.value(b).coefficient(Monomial({1, 0})), 0.0, 1e-6);
+}
+
+TEST(SosProgramExtra, InfeasibleReportsReason) {
+  // -1 - s == 0 with s SOS: impossible (s(x) = -1 < 0).
+  SosProgram prog(1);
+  const auto s = prog.add_sos_poly(monomials_up_to(1, 0));
+  prog.add_identity(Polynomial::constant(1, -1.0),
+                    {{-Polynomial::constant(1, 1.0), s, {}}});
+  const auto result = prog.solve();
+  EXPECT_FALSE(result.feasible);
+  EXPECT_FALSE(result.failure_reason.empty());
+}
+
+TEST(SosProgramExtra, MultiplierPolynomialsScaleEquations) {
+  // q(x) * f == target with q = x1 + 2: checks multiplier expansion.
+  SosProgram prog(1);
+  const auto f = prog.add_free_poly(monomials_up_to(1, 1));
+  const auto x = var(1, 0);
+  const Polynomial q = x + Polynomial::constant(1, 2.0);
+  // q * f == x^2 + 2x  =>  f == x.
+  prog.add_identity(-(x * x + x * 2.0), {{q, f, {}}});
+  const auto result = prog.solve();
+  ASSERT_TRUE(result.feasible);
+  EXPECT_LT(max_coefficient_diff(result.value(f), x), 1e-6);
+}
+
+TEST(SosProgramExtra, GramEigenvalueReported) {
+  SosProgram prog(1);
+  const auto s = prog.add_sos_poly(monomials_up_to(1, 1));
+  const auto x = var(1, 0);
+  // s == (x + 1)^2 exactly.
+  prog.add_identity(-(x + Polynomial::constant(1, 1.0)).pow(2),
+                    {{Polynomial::constant(1, 1.0), s, {}}});
+  const auto result = prog.solve();
+  ASSERT_TRUE(result.feasible);
+  EXPECT_GT(result.min_gram_eigenvalue, -1e-8);
+}
+
+TEST(SosProgramExtra, RejectsForeignVariables) {
+  SosProgram prog(2);
+  EXPECT_THROW(prog.add_free_poly(monomials_up_to(3, 1)), PreconditionError);
+  const auto f = prog.add_free_poly(monomials_up_to(2, 1));
+  EXPECT_THROW(
+      prog.add_identity(Polynomial(3),
+                        {{Polynomial::constant(2, 1.0), f, {}}}),
+      PreconditionError);
+}
+
+}  // namespace
+}  // namespace scs

@@ -1,0 +1,99 @@
+// Tests for the independent barrier-certificate validation module.
+#include <gtest/gtest.h>
+
+#include "barrier/validation.hpp"
+#include "util/check.hpp"
+
+namespace scs {
+namespace {
+
+Ccds stable_toy() {
+  Ccds sys;
+  sys.name = "val-toy";
+  sys.num_states = 2;
+  sys.num_controls = 1;
+  const auto x1 = Polynomial::variable(3, 0);
+  const auto x2 = Polynomial::variable(3, 1);
+  const auto u = Polynomial::variable(3, 2);
+  sys.open_field = {-x1 + u, -x2};
+  const Box box = Box::centered(2, 3.0);
+  sys.init_set = SemialgebraicSet::ball(Vec{0.0, 0.0}, 0.5);
+  sys.domain = SemialgebraicSet::from_box(box);
+  sys.unsafe_set = SemialgebraicSet::outside_ball(Vec{0.0, 0.0}, 2.0, box);
+  sys.control_bound = 1.0;
+  return sys;
+}
+
+/// The textbook certificate for the shell geometry: B = r_m^2 - ||x||^2.
+Polynomial shell_barrier(double r_mid) {
+  const auto x1 = Polynomial::variable(2, 0);
+  const auto x2 = Polynomial::variable(2, 1);
+  return Polynomial::constant(2, r_mid * r_mid) - x1 * x1 - x2 * x2;
+}
+
+TEST(Validation, AcceptsTrueCertificate) {
+  const Ccds sys = stable_toy();
+  Rng rng(1);
+  ValidationConfig cfg;
+  cfg.samples_per_set = 1000;
+  cfg.simulation_rollouts = 10;
+  const ValidationReport report =
+      validate_barrier(sys, {Polynomial(2)}, shell_barrier(1.0), cfg, rng);
+  EXPECT_TRUE(report.passed) << report.detail;
+  EXPECT_GT(report.min_b_on_theta, 0.0);
+  EXPECT_LT(report.max_b_on_unsafe, 0.0);
+  EXPECT_GT(report.boundary_samples, 0u);
+  EXPECT_EQ(report.safe_rollouts, report.total_rollouts);
+}
+
+TEST(Validation, RejectsBarrierNegativeOnTheta) {
+  // B = -1 everywhere violates condition (i).
+  const Ccds sys = stable_toy();
+  Rng rng(2);
+  ValidationConfig cfg;
+  cfg.samples_per_set = 200;
+  cfg.simulation_rollouts = 2;
+  const ValidationReport report = validate_barrier(
+      sys, {Polynomial(2)}, Polynomial::constant(2, -1.0), cfg, rng);
+  EXPECT_FALSE(report.passed);
+  EXPECT_LT(report.min_b_on_theta, 0.0);
+}
+
+TEST(Validation, RejectsBarrierPositiveOnUnsafe) {
+  // B = +1 everywhere violates condition (ii).
+  const Ccds sys = stable_toy();
+  Rng rng(3);
+  ValidationConfig cfg;
+  cfg.samples_per_set = 200;
+  cfg.simulation_rollouts = 2;
+  const ValidationReport report = validate_barrier(
+      sys, {Polynomial(2)}, Polynomial::constant(2, 1.0), cfg, rng);
+  EXPECT_FALSE(report.passed);
+  EXPECT_GT(report.max_b_on_unsafe, 0.0);
+}
+
+TEST(Validation, RejectsWhenDynamicsCrossLevelSet) {
+  // Destabilized plant: xdot = +x under u = 2x (bound allows it... the
+  // polynomial controller is unclamped). Trajectories cross B = 0 outward.
+  Ccds sys = stable_toy();
+  const Polynomial controller = Polynomial::variable(2, 0) * 2.0;
+  Rng rng(4);
+  ValidationConfig cfg;
+  cfg.samples_per_set = 1000;
+  cfg.simulation_rollouts = 10;
+  const ValidationReport report =
+      validate_barrier(sys, {controller}, shell_barrier(1.0), cfg, rng);
+  EXPECT_FALSE(report.passed);
+}
+
+TEST(Validation, RejectsWrongVariableCount) {
+  const Ccds sys = stable_toy();
+  Rng rng(5);
+  ValidationConfig cfg;
+  EXPECT_THROW(validate_barrier(sys, {Polynomial(2)},
+                                Polynomial::variable(3, 0), cfg, rng),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace scs
