@@ -4,6 +4,7 @@
 // polynomial kernels they are built on.
 #include <benchmark/benchmark.h>
 
+#include "math/mat.hpp"
 #include "opt/minimax_fit.hpp"
 #include "opt/sdp.hpp"
 #include "poly/basis.hpp"
@@ -13,6 +14,64 @@
 
 namespace scs {
 namespace {
+
+/// Random matrix; `density` < 1 zeroes entries so the tile-level skip in
+/// matmul has something to elide (the per-element branch it replaced is
+/// covered by the dense case).
+Mat random_mat(std::size_t rows, std::size_t cols, Rng& rng,
+               double density = 1.0) {
+  Mat m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j)
+      m(i, j) = (rng.uniform(0.0, 1.0) < density) ? rng.normal() : 0.0;
+  return m;
+}
+
+void BM_Matmul(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const double density = static_cast<double>(state.range(1)) / 100.0;
+  Rng rng(7);
+  const Mat a = random_mat(n, n, rng, density);
+  const Mat b = random_mat(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b));
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(BM_Matmul)
+    ->ArgsProduct({{64, 128, 256}, {100, 10}})  // {size, density %}
+    ->Unit(benchmark::kMicrosecond)
+    ->Complexity(benchmark::oNCubed);
+
+void BM_MatmulAtB(benchmark::State& state) {
+  // Design-matrix shape: tall-skinny A^T B as in the scenario normal
+  // equations.
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  Rng rng(8);
+  const Mat a = random_mat(k, 32, rng);
+  const Mat b = random_mat(k, 32, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul_at_b(a, b));
+  }
+}
+BENCHMARK(BM_MatmulAtB)
+    ->RangeMultiplier(4)
+    ->Range(1024, 16384)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_MatmulABt(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(9);
+  const Mat a = random_mat(n, n, rng);
+  const Mat b = random_mat(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul_a_bt(a, b));
+  }
+}
+BENCHMARK(BM_MatmulABt)
+    ->RangeMultiplier(2)
+    ->Range(64, 256)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_MinimaxFit_SamplesSweep(benchmark::State& state) {
   const std::size_t k = static_cast<std::size_t>(state.range(0));

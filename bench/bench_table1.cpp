@@ -17,6 +17,7 @@
 #include "pac/pac_fit.hpp"
 #include "rl/ddpg.hpp"
 #include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
 
 int main() {
   using namespace scs;
@@ -26,6 +27,8 @@ int main() {
 
   const Benchmark bench = make_benchmark(BenchmarkId::kC1);
   std::cout << "=== Table 1: Algorithm 1 on Example 1 (pendulum) ===\n";
+  std::cout << "threads: " << parallel_threads()
+            << " (SCS_THREADS to change)\n";
   std::cout << "training DNN controller (" << bench.hidden_layers.size()
             << " hidden layers of " << bench.hidden_layers.front()
             << "), " << episodes << " episodes...\n";

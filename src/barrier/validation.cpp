@@ -4,12 +4,52 @@
 #include <cmath>
 #include <limits>
 #include <sstream>
+#include <utility>
 
 #include "ode/trajectory.hpp"
 #include "poly/lie.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace scs {
+
+namespace {
+
+/// Samples per parallel chunk. Each chunk draws from its own forked
+/// substream and reductions combine per-chunk results in chunk order, so
+/// the report is bitwise-identical at any thread count.
+constexpr std::size_t kSampleChunk = 256;
+constexpr std::size_t kRolloutChunk = 4;
+
+std::size_t chunk_count(std::size_t n, std::size_t chunk) {
+  return (n + chunk - 1) / chunk;
+}
+
+/// Extremum of `value(x)` over `count` samples of `set` (parallel, chunked).
+double sampled_extremum(const SemialgebraicSet& set, std::size_t count,
+                        Rng& rng, bool want_min,
+                        const std::function<double(const Vec&)>& value) {
+  std::vector<Rng> streams =
+      rng.fork_streams(chunk_count(count, kSampleChunk));
+  const double identity = want_min ? std::numeric_limits<double>::infinity()
+                                   : -std::numeric_limits<double>::infinity();
+  return parallel_reduce(
+      count, kSampleChunk, identity,
+      [&](std::size_t begin, std::size_t end) {
+        Rng& chunk_rng = streams[begin / kSampleChunk];
+        double extremum = identity;
+        for (std::size_t i = begin; i < end; ++i) {
+          const double v = value(set.sample(chunk_rng));
+          extremum = want_min ? std::min(extremum, v) : std::max(extremum, v);
+        }
+        return extremum;
+      },
+      [want_min](double a, double b) {
+        return want_min ? std::min(a, b) : std::max(a, b);
+      });
+}
+
+}  // namespace
 
 ValidationReport validate_barrier(const Ccds& system,
                                   const std::vector<Polynomial>& controller,
@@ -20,43 +60,65 @@ ValidationReport validate_barrier(const Ccds& system,
   ValidationReport report;
   const auto closed = system.closed_loop(controller);
   const Polynomial lie = lie_derivative(barrier, closed);
+  const auto eval_barrier = [&barrier](const Vec& x) {
+    return barrier.evaluate(x);
+  };
 
   // Condition (i): B >= 0 on Theta.
-  double min_theta = std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < config.samples_per_set; ++i) {
-    const Vec x = system.init_set.sample(rng);
-    min_theta = std::min(min_theta, barrier.evaluate(x));
-  }
-  report.min_b_on_theta = min_theta;
+  report.min_b_on_theta = sampled_extremum(
+      system.init_set, config.samples_per_set, rng, /*want_min=*/true,
+      eval_barrier);
 
   // Condition (ii): B < 0 on X_u.
-  double max_unsafe = -std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < config.samples_per_set; ++i) {
-    const Vec x = system.unsafe_set.sample(rng);
-    max_unsafe = std::max(max_unsafe, barrier.evaluate(x));
-  }
-  report.max_b_on_unsafe = max_unsafe;
+  report.max_b_on_unsafe = sampled_extremum(
+      system.unsafe_set, config.samples_per_set, rng, /*want_min=*/false,
+      eval_barrier);
 
   // Condition (iii): L_f B > 0 on the zero level set of B within Psi.
-  // Sample Psi, keep points in a band |B| <= band * scale.
-  double scale = 0.0;
-  std::vector<Vec> domain_samples;
-  domain_samples.reserve(config.samples_per_set * 4);
-  for (std::size_t i = 0; i < config.samples_per_set * 4; ++i) {
-    Vec x = system.domain.sample(rng);
-    scale = std::max(scale, std::fabs(barrier.evaluate(x)));
-    domain_samples.push_back(std::move(x));
+  // Sample Psi once (chunked substreams), caching B at every point so the
+  // band-widening sweep below re-reads values instead of re-evaluating.
+  const std::size_t domain_count = config.samples_per_set * 4;
+  std::vector<Vec> domain_samples(domain_count);
+  std::vector<double> b_values(domain_count);
+  {
+    std::vector<Rng> streams =
+        rng.fork_streams(chunk_count(domain_count, kSampleChunk));
+    parallel_for(domain_count, kSampleChunk,
+                 [&](std::size_t begin, std::size_t end) {
+                   Rng& chunk_rng = streams[begin / kSampleChunk];
+                   for (std::size_t i = begin; i < end; ++i) {
+                     domain_samples[i] = system.domain.sample(chunk_rng);
+                     b_values[i] = barrier.evaluate(domain_samples[i]);
+                   }
+                 });
   }
+  double scale = 0.0;
+  for (double v : b_values) scale = std::max(scale, std::fabs(v));
+
   double band = config.boundary_band * std::max(scale, 1e-9);
   double min_lie = std::numeric_limits<double>::infinity();
   std::size_t found = 0;
+  using LieChunk = std::pair<double, std::size_t>;  // (min L_f B, points)
   for (int widen = 0; widen < 6 && found == 0; ++widen) {
-    for (const auto& x : domain_samples) {
-      if (std::fabs(barrier.evaluate(x)) <= band) {
-        min_lie = std::min(min_lie, lie.evaluate(x));
-        ++found;
-      }
-    }
+    const LieChunk total = parallel_reduce(
+        domain_count, kSampleChunk,
+        LieChunk{std::numeric_limits<double>::infinity(), 0},
+        [&](std::size_t begin, std::size_t end) {
+          LieChunk acc{std::numeric_limits<double>::infinity(), 0};
+          for (std::size_t i = begin; i < end; ++i) {
+            if (std::fabs(b_values[i]) <= band) {
+              acc.first = std::min(acc.first,
+                                   lie.evaluate(domain_samples[i]));
+              ++acc.second;
+            }
+          }
+          return acc;
+        },
+        [](LieChunk a, LieChunk b) {
+          return LieChunk{std::min(a.first, b.first), a.second + b.second};
+        });
+    min_lie = total.first;
+    found = total.second;
     if (found == 0) band *= 2.0;  // level set may be thin: widen the band
   }
   report.boundary_samples = found;
@@ -66,20 +128,32 @@ ValidationReport validate_barrier(const Ccds& system,
   // Simulation spot checks.
   const VectorField field = system.closed_loop_field(controller);
   report.total_rollouts = config.simulation_rollouts;
-  for (int r = 0; r < config.simulation_rollouts; ++r) {
-    const Vec x0 = system.init_set.sample(rng);
-    SimulateOptions opts;
-    opts.dt = config.simulation_dt;
-    opts.max_steps = config.simulation_steps;
-    opts.record = false;
-    const auto unsafe = [&](const Vec& x) {
-      return system.unsafe_set.contains(x);
-    };
-    const Trajectory traj = simulate(field, x0, opts, unsafe);
-    if (traj.stop != StopReason::kPredicate &&
-        traj.stop != StopReason::kDiverged)
-      ++report.safe_rollouts;
-  }
+  const std::size_t rollouts =
+      static_cast<std::size_t>(std::max(0, config.simulation_rollouts));
+  std::vector<Rng> streams =
+      rng.fork_streams(chunk_count(rollouts, kRolloutChunk));
+  report.safe_rollouts = static_cast<int>(parallel_reduce(
+      rollouts, kRolloutChunk, std::size_t{0},
+      [&](std::size_t begin, std::size_t end) {
+        Rng& chunk_rng = streams[begin / kRolloutChunk];
+        SimulateOptions opts;
+        opts.dt = config.simulation_dt;
+        opts.max_steps = config.simulation_steps;
+        opts.record = false;
+        const auto unsafe = [&](const Vec& x) {
+          return system.unsafe_set.contains(x);
+        };
+        std::size_t safe = 0;
+        for (std::size_t r = begin; r < end; ++r) {
+          const Vec x0 = system.init_set.sample(chunk_rng);
+          const Trajectory traj = simulate(field, x0, opts, unsafe);
+          if (traj.stop != StopReason::kPredicate &&
+              traj.stop != StopReason::kDiverged)
+            ++safe;
+        }
+        return safe;
+      },
+      [](std::size_t a, std::size_t b) { return a + b; }));
 
   // Tolerances are relative to the certificate's magnitude: the rigorous
   // margin lives in the SOS identity's rho / rho' terms; this numerical

@@ -5,6 +5,7 @@
 #include "util/check.hpp"
 #include "util/log.hpp"
 #include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
 
 namespace scs {
 
@@ -98,10 +99,12 @@ SynthesisResult run_stages_2_to_4(const Benchmark& benchmark,
   }
 
   // ---- Stage 4: independent validation.
+  Stopwatch validation_sw;
   Rng vrng(config.seed + 3000);
   result.validation = validate_barrier(sys, result.controller,
                                        result.barrier.barrier,
                                        config.validation, vrng);
+  result.validation_seconds = validation_sw.seconds();
   if (!result.validation.passed) {
     result.failure_stage = "validation";
     return result;
@@ -114,6 +117,7 @@ SynthesisResult run_stages_2_to_4(const Benchmark& benchmark,
 
 SynthesisResult synthesize(const Benchmark& benchmark,
                            const PipelineConfig& config) {
+  Stopwatch total_sw;
   SynthesisResult result;
   result.benchmark = benchmark.name;
   const Ccds& sys = benchmark.ccds;
@@ -139,17 +143,35 @@ SynthesisResult synthesize(const Benchmark& benchmark,
   log_info("pipeline[", benchmark.name, "]: RL done in ", result.rl_seconds,
            "s, eval safety rate ", result.rl_eval.safety_rate);
 
-  return run_stages_2_to_4(benchmark, agent.control_law(sys.control_bound),
-                           cfg, std::move(result));
+  result = run_stages_2_to_4(benchmark, agent.control_law(sys.control_bound),
+                             cfg, std::move(result));
+  result.total_seconds = total_sw.seconds();
+  return result;
 }
 
 SynthesisResult synthesize_from_law(const Benchmark& benchmark,
                                     const ControlLaw& law,
                                     const PipelineConfig& config) {
+  Stopwatch total_sw;
   SynthesisResult result;
   result.benchmark = benchmark.name;
   result.dnn_structure = "(external law)";
-  return run_stages_2_to_4(benchmark, law, config, std::move(result));
+  result = run_stages_2_to_4(benchmark, law, config, std::move(result));
+  result.total_seconds = total_sw.seconds();
+  return result;
+}
+
+std::vector<SynthesisResult> synthesize_many(
+    const std::vector<Benchmark>& benchmarks, const PipelineConfig& config) {
+  std::vector<SynthesisResult> results(benchmarks.size());
+  // One task per system; each synthesize() seeds its own Rng chain from
+  // config.seed, so the fan-out is embarrassingly parallel and the output
+  // matches a sequential loop bitwise at any thread count.
+  parallel_for(benchmarks.size(), 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i)
+      results[i] = synthesize(benchmarks[i], config);
+  });
+  return results;
 }
 
 }  // namespace scs

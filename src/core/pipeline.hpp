@@ -65,6 +65,10 @@ struct SynthesisResult {
 
   // Stage 4.
   ValidationReport validation;
+  double validation_seconds = 0.0;
+
+  /// Wall-clock for the whole pipeline run on this benchmark.
+  double total_seconds = 0.0;
 };
 
 /// Run the full pipeline on one benchmark.
@@ -76,5 +80,14 @@ SynthesisResult synthesize(const Benchmark& benchmark,
 SynthesisResult synthesize_from_law(const Benchmark& benchmark,
                                     const ControlLaw& law,
                                     const PipelineConfig& config = {});
+
+/// Run the full pipeline on several benchmarks concurrently (one task per
+/// system on the global thread pool, inner stages parallel too). Every
+/// system derives all of its randomness from config.seed alone, so results
+/// are positionally aligned with `benchmarks` and bitwise-identical to
+/// sequential `synthesize` calls at any thread count.
+std::vector<SynthesisResult> synthesize_many(
+    const std::vector<Benchmark>& benchmarks,
+    const PipelineConfig& config = {});
 
 }  // namespace scs

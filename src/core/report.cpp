@@ -3,6 +3,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "util/thread_pool.hpp"
+
 namespace scs {
 
 namespace {
@@ -81,6 +83,18 @@ std::string table2_row(const Benchmark& benchmark,
   } else {
     os << std::setw(11) << "x" << std::setw(10) << "x";
   }
+  return os.str();
+}
+
+std::string stage_timings_json(const SynthesisResult& result) {
+  std::ostringstream os;
+  os << "{\"benchmark\":\"" << result.benchmark << "\""
+     << ",\"rl_seconds\":" << fmt_double(result.rl_seconds, 6)
+     << ",\"pac_seconds\":" << fmt_double(result.pac_seconds, 6)
+     << ",\"barrier_seconds\":" << fmt_double(result.barrier_seconds, 6)
+     << ",\"validation_seconds\":" << fmt_double(result.validation_seconds, 6)
+     << ",\"total_seconds\":" << fmt_double(result.total_seconds, 6)
+     << ",\"threads\":" << parallel_threads() << "}";
   return os.str();
 }
 

@@ -22,4 +22,10 @@ std::string table2_row(const Benchmark& benchmark,
                        const SynthesisResult& result,
                        const NnControllerResult* baseline);
 
+/// Per-stage wall-clock attribution for one pipeline run as a single JSON
+/// object: benchmark name, rl/pac/barrier/validation/total seconds, and the
+/// thread count the run executed with (so BENCH_*.json timings can be
+/// attributed to a parallel configuration).
+std::string stage_timings_json(const SynthesisResult& result);
+
 }  // namespace scs

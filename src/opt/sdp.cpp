@@ -7,6 +7,7 @@
 #include "math/cholesky.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace scs {
 
@@ -256,61 +257,61 @@ SdpSolution solve_sdp(const SdpProblem& problem, const SdpOptions& options) {
     }
 
     // ---- Schur complement M_ij = <A_i, sym(X A_j S^{-1})> per block.
+    // Columns j fan out over the pool: each constraint kj touching the
+    // block owns its W_j = X A_j S^{-1} scratch and its own Schur column,
+    // so the writes are disjoint; the block loop stays serial, preserving
+    // the per-entry accumulation order regardless of thread count.
     Mat schur(m, m);
-    std::vector<std::vector<Mat>> w_cache(num_blocks);
     for (std::size_t l = 0; l < num_blocks; ++l) {
       const BlockIndex& bi = index[l];
       const std::size_t nl = problem.block_dims[l];
       const std::size_t nc = bi.constraint_ids.size();
-      w_cache[l].resize(nc);
-      for (std::size_t kj = 0; kj < nc; ++kj) {
-        // W = X A_j S^{-1} as a sum of outer products over A_j's entries.
-        Mat w(nl, nl);
-        for (std::size_t e = bi.entry_begin[kj]; e < bi.entry_begin[kj + 1];
-             ++e) {
-          const std::size_t r = bi.rows[e];
-          const std::size_t c = bi.cols[e];
-          const double v = bi.vals[e];
-          // v * (X[:,r] Sinv[c,:] + [r != c] X[:,c] Sinv[r,:]).
-          for (std::size_t a = 0; a < nl; ++a) {
-            const double xa_r = x[l](a, r) * v;
-            double* wrow = w.row_ptr(a);
-            const double* srow = sinv[l].row_ptr(c);
-            for (std::size_t bb = 0; bb < nl; ++bb)
-              wrow[bb] += xa_r * srow[bb];
-          }
-          if (r != c) {
-            for (std::size_t a = 0; a < nl; ++a) {
-              const double xa_c = x[l](a, c) * v;
-              double* wrow = w.row_ptr(a);
-              const double* srow = sinv[l].row_ptr(r);
-              for (std::size_t bb = 0; bb < nl; ++bb)
-                wrow[bb] += xa_c * srow[bb];
-            }
-          }
-        }
-        w_cache[l][kj] = std::move(w);
-      }
-      // M_ij += <A_i, sym(W_j)> over constraints i, j touching this block.
-      for (std::size_t kj = 0; kj < nc; ++kj) {
-        const std::size_t j = bi.constraint_ids[kj];
-        const Mat& w = w_cache[l][kj];
-        for (std::size_t ki = 0; ki < nc; ++ki) {
-          const std::size_t i = bi.constraint_ids[ki];
-          double acc = 0.0;
-          for (std::size_t e = bi.entry_begin[ki]; e < bi.entry_begin[ki + 1];
+      parallel_for(nc, 2, [&](std::size_t kj_begin, std::size_t kj_end) {
+        for (std::size_t kj = kj_begin; kj < kj_end; ++kj) {
+          // W = X A_j S^{-1} as a sum of outer products over A_j's entries.
+          Mat w(nl, nl);
+          for (std::size_t e = bi.entry_begin[kj]; e < bi.entry_begin[kj + 1];
                ++e) {
             const std::size_t r = bi.rows[e];
             const std::size_t c = bi.cols[e];
             const double v = bi.vals[e];
-            if (r == c)
-              acc += v * w(r, r);
-            else
-              acc += 0.5 * v * (w(r, c) + w(c, r)) * 2.0;
+            // v * (X[:,r] Sinv[c,:] + [r != c] X[:,c] Sinv[r,:]).
+            for (std::size_t a = 0; a < nl; ++a) {
+              const double xa_r = x[l](a, r) * v;
+              double* wrow = w.row_ptr(a);
+              const double* srow = sinv[l].row_ptr(c);
+              for (std::size_t bb = 0; bb < nl; ++bb)
+                wrow[bb] += xa_r * srow[bb];
+            }
+            if (r != c) {
+              for (std::size_t a = 0; a < nl; ++a) {
+                const double xa_c = x[l](a, c) * v;
+                double* wrow = w.row_ptr(a);
+                const double* srow = sinv[l].row_ptr(r);
+                for (std::size_t bb = 0; bb < nl; ++bb)
+                  wrow[bb] += xa_c * srow[bb];
+              }
+            }
           }
-          schur(i, j) += acc;
+          // M_ij += <A_i, sym(W_j)> down this constraint's Schur column.
+          const std::size_t j = bi.constraint_ids[kj];
+          for (std::size_t ki = 0; ki < nc; ++ki) {
+            const std::size_t i = bi.constraint_ids[ki];
+            double acc = 0.0;
+            for (std::size_t e = bi.entry_begin[ki];
+                 e < bi.entry_begin[ki + 1]; ++e) {
+              const std::size_t r = bi.rows[e];
+              const std::size_t c = bi.cols[e];
+              const double v = bi.vals[e];
+              if (r == c)
+                acc += v * w(r, r);
+              else
+                acc += 0.5 * v * (w(r, c) + w(c, r)) * 2.0;
+            }
+            schur(i, j) += acc;
+          }
         }
-      }
+      });
     }
     schur.symmetrize();
     // Tiny ridge to absorb roundoff on nearly dependent rows.

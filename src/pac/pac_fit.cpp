@@ -9,19 +9,16 @@
 #include "util/check.hpp"
 #include "util/log.hpp"
 #include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
 
 namespace scs {
 
 namespace {
 
-/// Build the design matrix of basis evaluations at the sampled points.
-Mat build_design(const std::vector<Vec>& points,
-                 const std::vector<Monomial>& basis) {
-  Mat design(points.size(), basis.size());
-  for (std::size_t i = 0; i < points.size(); ++i)
-    design.set_row(i, evaluate_basis(basis, points[i]));
-  return design;
-}
+/// Samples per parallel chunk for scenario generation. The chunking (and
+/// the substream forked for each chunk) depends only on K, so the drawn
+/// scenarios are bitwise-identical at any thread count.
+constexpr std::size_t kScenarioChunk = 256;
 
 }  // namespace
 
@@ -64,8 +61,12 @@ PacResult pac_approximate(const ScalarFn& fn, const SemialgebraicSet& domain,
       row.eps = eps;
       row.samples = scenario_sample_count(eps, settings.eta, kappa);
       row.samples_used = row.samples;
-      if (options.max_samples > 0 && row.samples_used > options.max_samples)
+      row.eps_requested = eps;
+      const char* cap_reason = nullptr;
+      if (options.max_samples > 0 && row.samples_used > options.max_samples) {
         row.samples_used = options.max_samples;
+        cap_reason = "max_samples";
+      }
       // Memory guard on the design matrix (K x v doubles).
       const std::uint64_t bytes_per_sample = 8 * basis.size();
       const std::uint64_t max_by_memory =
@@ -73,26 +74,40 @@ PacResult pac_approximate(const ScalarFn& fn, const SemialgebraicSet& domain,
                                   options.max_design_bytes / bytes_per_sample);
       if (row.samples_used > max_by_memory) {
         row.samples_used = max_by_memory;
-        log_info("pac: capping K at ", max_by_memory,
-                 " by the design-matrix memory guard");
+        cap_reason = "max_design_bytes memory guard";
       }
       if (row.samples_used < row.samples) {
-        // Recompute the honest error rate achievable with the capped count.
+        // Recompute the honest error rate achievable with the capped count;
+        // silently keeping the requested eps would invalidate the Theorem-3
+        // PAC bound.
         row.eps = scenario_eps_for_samples(row.samples_used, settings.eta,
                                            kappa);
+        log_info("pac: d=", d, " truncated K ", row.samples, " -> ",
+                 row.samples_used, " (", cap_reason, "); effective eps ",
+                 row.eps, " vs requested ", row.eps_requested);
       }
 
-      // Draw K i.i.d. samples from Psi (Assumption 1: uniform measure).
-      auto points =
-          domain.sample_many(static_cast<std::size_t>(row.samples_used), rng);
-      Vec targets(points.size());
-      for (std::size_t i = 0; i < points.size(); ++i) {
-        targets[i] = fn(points[i]);
-        // Move the design point into unit-box coordinates.
-        for (std::size_t j = 0; j < n; ++j) points[i][j] *= s_inv[j];
-      }
-
-      const Mat design = build_design(points, basis);
+      // Draw K i.i.d. samples from Psi (Assumption 1: uniform measure) and
+      // evaluate the target plus the basis row at each. Every chunk samples
+      // from its own forked substream and fills its own design rows, so
+      // generation and design-matrix evaluation run on all cores while the
+      // drawn scenarios stay bitwise-identical at any thread count.
+      const std::size_t k_used = static_cast<std::size_t>(row.samples_used);
+      std::vector<Rng> streams = rng.fork_streams(
+          (k_used + kScenarioChunk - 1) / kScenarioChunk);
+      Mat design(k_used, basis.size());
+      Vec targets(k_used);
+      parallel_for(k_used, kScenarioChunk,
+                   [&](std::size_t begin, std::size_t end) {
+                     Rng& chunk_rng = streams[begin / kScenarioChunk];
+                     for (std::size_t i = begin; i < end; ++i) {
+                       Vec x = domain.sample(chunk_rng);
+                       targets[i] = fn(x);
+                       // Move the design point into unit-box coordinates.
+                       for (std::size_t j = 0; j < n; ++j) x[j] *= s_inv[j];
+                       design.set_row(i, evaluate_basis(basis, x));
+                     }
+                   });
       const MinimaxFitResult fit = minimax_fit(design, targets);
       row.error = fit.error;
       error_list.push_back(fit.error);
@@ -171,12 +186,21 @@ double empirical_violation_rate(const PacModel& model, const ScalarFn& fn,
                                 const SemialgebraicSet& domain,
                                 std::size_t samples, Rng& rng) {
   SCS_REQUIRE(samples > 0, "empirical_violation_rate: need samples > 0");
-  std::size_t violations = 0;
-  for (std::size_t i = 0; i < samples; ++i) {
-    const Vec x = domain.sample(rng);
-    if (std::fabs(model.poly.evaluate(x) - fn(x)) > model.error)
-      ++violations;
-  }
+  std::vector<Rng> streams = rng.fork_streams(
+      (samples + kScenarioChunk - 1) / kScenarioChunk);
+  const std::size_t violations = parallel_reduce(
+      samples, kScenarioChunk, std::size_t{0},
+      [&](std::size_t begin, std::size_t end) {
+        Rng& chunk_rng = streams[begin / kScenarioChunk];
+        std::size_t count = 0;
+        for (std::size_t i = begin; i < end; ++i) {
+          const Vec x = domain.sample(chunk_rng);
+          if (std::fabs(model.poly.evaluate(x) - fn(x)) > model.error)
+            ++count;
+        }
+        return count;
+      },
+      [](std::size_t a, std::size_t b) { return a + b; });
   return static_cast<double>(violations) / static_cast<double>(samples);
 }
 

@@ -35,7 +35,12 @@ struct PacModel {
 struct PacTraceRow {
   int degree = 0;
   double eta = 0.0;
+  /// Effective error rate: equals eps_requested unless K was capped, in
+  /// which case it is recomputed from samples_used (Theorem 3) so the PAC
+  /// statement stays honest.
   double eps = 0.0;
+  /// The schedule's eps before any sample-cap adjustment.
+  double eps_requested = 0.0;
   std::uint64_t samples = 0;  // K requested by Theorem 3
   std::uint64_t samples_used = 0;  // actual (== samples unless capped)
   double error = 0.0;              // e

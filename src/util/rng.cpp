@@ -51,4 +51,11 @@ Rng Rng::fork() {
   return Rng(engine_());
 }
 
+std::vector<Rng> Rng::fork_streams(std::size_t n) {
+  std::vector<Rng> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(fork());
+  return out;
+}
+
 }  // namespace scs

@@ -43,6 +43,12 @@ class Rng {
   /// Derive an independent child generator (for deterministic sub-streams).
   Rng fork();
 
+  /// Derive `n` independent child generators, forked in order. This is the
+  /// deterministic-parallelism workhorse: fork one substream per fixed-size
+  /// work chunk (serially, before fanning out), and the chunk results are
+  /// bitwise-identical no matter how many threads later consume them.
+  std::vector<Rng> fork_streams(std::size_t n);
+
   std::mt19937_64& engine() { return engine_; }
 
  private:
