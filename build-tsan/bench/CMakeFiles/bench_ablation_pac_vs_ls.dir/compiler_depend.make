@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_ablation_pac_vs_ls.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_system.dir/custom_system.cpp.o"
+  "CMakeFiles/custom_system.dir/custom_system.cpp.o.d"
+  "custom_system"
+  "custom_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

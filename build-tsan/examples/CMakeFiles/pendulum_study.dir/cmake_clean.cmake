@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pendulum_study.dir/pendulum_study.cpp.o"
+  "CMakeFiles/pendulum_study.dir/pendulum_study.cpp.o.d"
+  "pendulum_study"
+  "pendulum_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pendulum_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quadcopter.dir/quadcopter.cpp.o"
+  "CMakeFiles/quadcopter.dir/quadcopter.cpp.o.d"
+  "quadcopter"
+  "quadcopter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quadcopter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

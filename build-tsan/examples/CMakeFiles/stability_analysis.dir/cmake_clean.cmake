@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stability_analysis.dir/stability_analysis.cpp.o"
+  "CMakeFiles/stability_analysis.dir/stability_analysis.cpp.o.d"
+  "stability_analysis"
+  "stability_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stability_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthesize_cli.dir/synthesize_cli.cpp.o"
+  "CMakeFiles/synthesize_cli.dir/synthesize_cli.cpp.o.d"
+  "synthesize_cli"
+  "synthesize_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthesize_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

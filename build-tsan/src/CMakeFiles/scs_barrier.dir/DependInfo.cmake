@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/barrier/lyapunov.cpp" "src/CMakeFiles/scs_barrier.dir/barrier/lyapunov.cpp.o" "gcc" "src/CMakeFiles/scs_barrier.dir/barrier/lyapunov.cpp.o.d"
+  "/root/repo/src/barrier/mc_safety.cpp" "src/CMakeFiles/scs_barrier.dir/barrier/mc_safety.cpp.o" "gcc" "src/CMakeFiles/scs_barrier.dir/barrier/mc_safety.cpp.o.d"
+  "/root/repo/src/barrier/synthesis.cpp" "src/CMakeFiles/scs_barrier.dir/barrier/synthesis.cpp.o" "gcc" "src/CMakeFiles/scs_barrier.dir/barrier/synthesis.cpp.o.d"
+  "/root/repo/src/barrier/validation.cpp" "src/CMakeFiles/scs_barrier.dir/barrier/validation.cpp.o" "gcc" "src/CMakeFiles/scs_barrier.dir/barrier/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/scs_sos.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scs_systems.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scs_opt.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scs_poly.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scs_ode.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scs_math.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scs_barrier.dir/barrier/lyapunov.cpp.o"
+  "CMakeFiles/scs_barrier.dir/barrier/lyapunov.cpp.o.d"
+  "CMakeFiles/scs_barrier.dir/barrier/mc_safety.cpp.o"
+  "CMakeFiles/scs_barrier.dir/barrier/mc_safety.cpp.o.d"
+  "CMakeFiles/scs_barrier.dir/barrier/synthesis.cpp.o"
+  "CMakeFiles/scs_barrier.dir/barrier/synthesis.cpp.o.d"
+  "CMakeFiles/scs_barrier.dir/barrier/validation.cpp.o"
+  "CMakeFiles/scs_barrier.dir/barrier/validation.cpp.o.d"
+  "libscs_barrier.a"
+  "libscs_barrier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scs_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scs_baseline.dir/baseline/ls_fit.cpp.o"
+  "CMakeFiles/scs_baseline.dir/baseline/ls_fit.cpp.o.d"
+  "CMakeFiles/scs_baseline.dir/baseline/nncontroller.cpp.o"
+  "CMakeFiles/scs_baseline.dir/baseline/nncontroller.cpp.o.d"
+  "libscs_baseline.a"
+  "libscs_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scs_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

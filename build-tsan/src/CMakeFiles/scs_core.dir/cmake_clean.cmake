@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scs_core.dir/core/artifacts.cpp.o"
+  "CMakeFiles/scs_core.dir/core/artifacts.cpp.o.d"
+  "CMakeFiles/scs_core.dir/core/pipeline.cpp.o"
+  "CMakeFiles/scs_core.dir/core/pipeline.cpp.o.d"
+  "CMakeFiles/scs_core.dir/core/report.cpp.o"
+  "CMakeFiles/scs_core.dir/core/report.cpp.o.d"
+  "libscs_core.a"
+  "libscs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

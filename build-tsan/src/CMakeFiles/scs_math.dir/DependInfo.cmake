@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/cholesky.cpp" "src/CMakeFiles/scs_math.dir/math/cholesky.cpp.o" "gcc" "src/CMakeFiles/scs_math.dir/math/cholesky.cpp.o.d"
+  "/root/repo/src/math/eigen_sym.cpp" "src/CMakeFiles/scs_math.dir/math/eigen_sym.cpp.o" "gcc" "src/CMakeFiles/scs_math.dir/math/eigen_sym.cpp.o.d"
+  "/root/repo/src/math/lu.cpp" "src/CMakeFiles/scs_math.dir/math/lu.cpp.o" "gcc" "src/CMakeFiles/scs_math.dir/math/lu.cpp.o.d"
+  "/root/repo/src/math/mat.cpp" "src/CMakeFiles/scs_math.dir/math/mat.cpp.o" "gcc" "src/CMakeFiles/scs_math.dir/math/mat.cpp.o.d"
+  "/root/repo/src/math/qr.cpp" "src/CMakeFiles/scs_math.dir/math/qr.cpp.o" "gcc" "src/CMakeFiles/scs_math.dir/math/qr.cpp.o.d"
+  "/root/repo/src/math/vec.cpp" "src/CMakeFiles/scs_math.dir/math/vec.cpp.o" "gcc" "src/CMakeFiles/scs_math.dir/math/vec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/scs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

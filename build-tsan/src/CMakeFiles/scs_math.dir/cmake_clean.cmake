@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scs_math.dir/math/cholesky.cpp.o"
+  "CMakeFiles/scs_math.dir/math/cholesky.cpp.o.d"
+  "CMakeFiles/scs_math.dir/math/eigen_sym.cpp.o"
+  "CMakeFiles/scs_math.dir/math/eigen_sym.cpp.o.d"
+  "CMakeFiles/scs_math.dir/math/lu.cpp.o"
+  "CMakeFiles/scs_math.dir/math/lu.cpp.o.d"
+  "CMakeFiles/scs_math.dir/math/mat.cpp.o"
+  "CMakeFiles/scs_math.dir/math/mat.cpp.o.d"
+  "CMakeFiles/scs_math.dir/math/qr.cpp.o"
+  "CMakeFiles/scs_math.dir/math/qr.cpp.o.d"
+  "CMakeFiles/scs_math.dir/math/vec.cpp.o"
+  "CMakeFiles/scs_math.dir/math/vec.cpp.o.d"
+  "libscs_math.a"
+  "libscs_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scs_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

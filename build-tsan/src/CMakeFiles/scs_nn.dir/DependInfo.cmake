@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/adam.cpp" "src/CMakeFiles/scs_nn.dir/nn/adam.cpp.o" "gcc" "src/CMakeFiles/scs_nn.dir/nn/adam.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "src/CMakeFiles/scs_nn.dir/nn/mlp.cpp.o" "gcc" "src/CMakeFiles/scs_nn.dir/nn/mlp.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/CMakeFiles/scs_nn.dir/nn/serialize.cpp.o" "gcc" "src/CMakeFiles/scs_nn.dir/nn/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/scs_math.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scs_nn.dir/nn/adam.cpp.o"
+  "CMakeFiles/scs_nn.dir/nn/adam.cpp.o.d"
+  "CMakeFiles/scs_nn.dir/nn/mlp.cpp.o"
+  "CMakeFiles/scs_nn.dir/nn/mlp.cpp.o.d"
+  "CMakeFiles/scs_nn.dir/nn/serialize.cpp.o"
+  "CMakeFiles/scs_nn.dir/nn/serialize.cpp.o.d"
+  "libscs_nn.a"
+  "libscs_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scs_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ode/integrator.cpp" "src/CMakeFiles/scs_ode.dir/ode/integrator.cpp.o" "gcc" "src/CMakeFiles/scs_ode.dir/ode/integrator.cpp.o.d"
+  "/root/repo/src/ode/trajectory.cpp" "src/CMakeFiles/scs_ode.dir/ode/trajectory.cpp.o" "gcc" "src/CMakeFiles/scs_ode.dir/ode/trajectory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/scs_math.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scs_ode.dir/ode/integrator.cpp.o"
+  "CMakeFiles/scs_ode.dir/ode/integrator.cpp.o.d"
+  "CMakeFiles/scs_ode.dir/ode/trajectory.cpp.o"
+  "CMakeFiles/scs_ode.dir/ode/trajectory.cpp.o.d"
+  "libscs_ode.a"
+  "libscs_ode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scs_ode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

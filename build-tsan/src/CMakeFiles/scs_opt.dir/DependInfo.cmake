@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/minimax_fit.cpp" "src/CMakeFiles/scs_opt.dir/opt/minimax_fit.cpp.o" "gcc" "src/CMakeFiles/scs_opt.dir/opt/minimax_fit.cpp.o.d"
+  "/root/repo/src/opt/sdp.cpp" "src/CMakeFiles/scs_opt.dir/opt/sdp.cpp.o" "gcc" "src/CMakeFiles/scs_opt.dir/opt/sdp.cpp.o.d"
+  "/root/repo/src/opt/simplex.cpp" "src/CMakeFiles/scs_opt.dir/opt/simplex.cpp.o" "gcc" "src/CMakeFiles/scs_opt.dir/opt/simplex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/scs_math.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

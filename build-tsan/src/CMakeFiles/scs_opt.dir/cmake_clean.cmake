@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scs_opt.dir/opt/minimax_fit.cpp.o"
+  "CMakeFiles/scs_opt.dir/opt/minimax_fit.cpp.o.d"
+  "CMakeFiles/scs_opt.dir/opt/sdp.cpp.o"
+  "CMakeFiles/scs_opt.dir/opt/sdp.cpp.o.d"
+  "CMakeFiles/scs_opt.dir/opt/simplex.cpp.o"
+  "CMakeFiles/scs_opt.dir/opt/simplex.cpp.o.d"
+  "libscs_opt.a"
+  "libscs_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scs_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

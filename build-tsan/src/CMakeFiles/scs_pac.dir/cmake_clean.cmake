@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scs_pac.dir/pac/pac_fit.cpp.o"
+  "CMakeFiles/scs_pac.dir/pac/pac_fit.cpp.o.d"
+  "CMakeFiles/scs_pac.dir/pac/scenario.cpp.o"
+  "CMakeFiles/scs_pac.dir/pac/scenario.cpp.o.d"
+  "libscs_pac.a"
+  "libscs_pac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scs_pac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for scs_pac.
+# This may be replaced when dependencies are built.

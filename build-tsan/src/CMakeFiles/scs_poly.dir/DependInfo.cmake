@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/poly/basis.cpp" "src/CMakeFiles/scs_poly.dir/poly/basis.cpp.o" "gcc" "src/CMakeFiles/scs_poly.dir/poly/basis.cpp.o.d"
+  "/root/repo/src/poly/lie.cpp" "src/CMakeFiles/scs_poly.dir/poly/lie.cpp.o" "gcc" "src/CMakeFiles/scs_poly.dir/poly/lie.cpp.o.d"
+  "/root/repo/src/poly/monomial.cpp" "src/CMakeFiles/scs_poly.dir/poly/monomial.cpp.o" "gcc" "src/CMakeFiles/scs_poly.dir/poly/monomial.cpp.o.d"
+  "/root/repo/src/poly/parse.cpp" "src/CMakeFiles/scs_poly.dir/poly/parse.cpp.o" "gcc" "src/CMakeFiles/scs_poly.dir/poly/parse.cpp.o.d"
+  "/root/repo/src/poly/polynomial.cpp" "src/CMakeFiles/scs_poly.dir/poly/polynomial.cpp.o" "gcc" "src/CMakeFiles/scs_poly.dir/poly/polynomial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/scs_math.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

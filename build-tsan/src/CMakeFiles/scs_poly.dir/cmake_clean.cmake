@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scs_poly.dir/poly/basis.cpp.o"
+  "CMakeFiles/scs_poly.dir/poly/basis.cpp.o.d"
+  "CMakeFiles/scs_poly.dir/poly/lie.cpp.o"
+  "CMakeFiles/scs_poly.dir/poly/lie.cpp.o.d"
+  "CMakeFiles/scs_poly.dir/poly/monomial.cpp.o"
+  "CMakeFiles/scs_poly.dir/poly/monomial.cpp.o.d"
+  "CMakeFiles/scs_poly.dir/poly/parse.cpp.o"
+  "CMakeFiles/scs_poly.dir/poly/parse.cpp.o.d"
+  "CMakeFiles/scs_poly.dir/poly/polynomial.cpp.o"
+  "CMakeFiles/scs_poly.dir/poly/polynomial.cpp.o.d"
+  "libscs_poly.a"
+  "libscs_poly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scs_poly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scs_rl.dir/rl/ddpg.cpp.o"
+  "CMakeFiles/scs_rl.dir/rl/ddpg.cpp.o.d"
+  "CMakeFiles/scs_rl.dir/rl/env.cpp.o"
+  "CMakeFiles/scs_rl.dir/rl/env.cpp.o.d"
+  "CMakeFiles/scs_rl.dir/rl/noise.cpp.o"
+  "CMakeFiles/scs_rl.dir/rl/noise.cpp.o.d"
+  "CMakeFiles/scs_rl.dir/rl/replay.cpp.o"
+  "CMakeFiles/scs_rl.dir/rl/replay.cpp.o.d"
+  "libscs_rl.a"
+  "libscs_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scs_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sos/certificate.cpp" "src/CMakeFiles/scs_sos.dir/sos/certificate.cpp.o" "gcc" "src/CMakeFiles/scs_sos.dir/sos/certificate.cpp.o.d"
+  "/root/repo/src/sos/interval.cpp" "src/CMakeFiles/scs_sos.dir/sos/interval.cpp.o" "gcc" "src/CMakeFiles/scs_sos.dir/sos/interval.cpp.o.d"
+  "/root/repo/src/sos/putinar.cpp" "src/CMakeFiles/scs_sos.dir/sos/putinar.cpp.o" "gcc" "src/CMakeFiles/scs_sos.dir/sos/putinar.cpp.o.d"
+  "/root/repo/src/sos/sos_program.cpp" "src/CMakeFiles/scs_sos.dir/sos/sos_program.cpp.o" "gcc" "src/CMakeFiles/scs_sos.dir/sos/sos_program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/scs_poly.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scs_opt.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scs_math.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scs_sos.dir/sos/certificate.cpp.o"
+  "CMakeFiles/scs_sos.dir/sos/certificate.cpp.o.d"
+  "CMakeFiles/scs_sos.dir/sos/interval.cpp.o"
+  "CMakeFiles/scs_sos.dir/sos/interval.cpp.o.d"
+  "CMakeFiles/scs_sos.dir/sos/putinar.cpp.o"
+  "CMakeFiles/scs_sos.dir/sos/putinar.cpp.o.d"
+  "CMakeFiles/scs_sos.dir/sos/sos_program.cpp.o"
+  "CMakeFiles/scs_sos.dir/sos/sos_program.cpp.o.d"
+  "libscs_sos.a"
+  "libscs_sos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scs_sos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

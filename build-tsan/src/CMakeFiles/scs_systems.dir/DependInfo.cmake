@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/systems/benchmarks.cpp" "src/CMakeFiles/scs_systems.dir/systems/benchmarks.cpp.o" "gcc" "src/CMakeFiles/scs_systems.dir/systems/benchmarks.cpp.o.d"
+  "/root/repo/src/systems/box.cpp" "src/CMakeFiles/scs_systems.dir/systems/box.cpp.o" "gcc" "src/CMakeFiles/scs_systems.dir/systems/box.cpp.o.d"
+  "/root/repo/src/systems/ccds.cpp" "src/CMakeFiles/scs_systems.dir/systems/ccds.cpp.o" "gcc" "src/CMakeFiles/scs_systems.dir/systems/ccds.cpp.o.d"
+  "/root/repo/src/systems/semialgebraic.cpp" "src/CMakeFiles/scs_systems.dir/systems/semialgebraic.cpp.o" "gcc" "src/CMakeFiles/scs_systems.dir/systems/semialgebraic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/scs_poly.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scs_ode.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scs_math.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

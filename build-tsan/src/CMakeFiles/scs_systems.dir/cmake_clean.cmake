@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scs_systems.dir/systems/benchmarks.cpp.o"
+  "CMakeFiles/scs_systems.dir/systems/benchmarks.cpp.o.d"
+  "CMakeFiles/scs_systems.dir/systems/box.cpp.o"
+  "CMakeFiles/scs_systems.dir/systems/box.cpp.o.d"
+  "CMakeFiles/scs_systems.dir/systems/ccds.cpp.o"
+  "CMakeFiles/scs_systems.dir/systems/ccds.cpp.o.d"
+  "CMakeFiles/scs_systems.dir/systems/semialgebraic.cpp.o"
+  "CMakeFiles/scs_systems.dir/systems/semialgebraic.cpp.o.d"
+  "libscs_systems.a"
+  "libscs_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scs_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

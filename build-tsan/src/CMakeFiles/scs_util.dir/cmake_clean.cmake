@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scs_util.dir/util/log.cpp.o"
+  "CMakeFiles/scs_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/scs_util.dir/util/rng.cpp.o"
+  "CMakeFiles/scs_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/scs_util.dir/util/stopwatch.cpp.o"
+  "CMakeFiles/scs_util.dir/util/stopwatch.cpp.o.d"
+  "CMakeFiles/scs_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/scs_util.dir/util/thread_pool.cpp.o.d"
+  "libscs_util.a"
+  "libscs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artifacts_test.dir/artifacts_test.cpp.o"
+  "CMakeFiles/artifacts_test.dir/artifacts_test.cpp.o.d"
+  "artifacts_test"
+  "artifacts_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artifacts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

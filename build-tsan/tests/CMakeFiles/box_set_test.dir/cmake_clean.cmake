@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/box_set_test.dir/box_set_test.cpp.o"
+  "CMakeFiles/box_set_test.dir/box_set_test.cpp.o.d"
+  "box_set_test"
+  "box_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/box_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccds_test.dir/ccds_test.cpp.o"
+  "CMakeFiles/ccds_test.dir/ccds_test.cpp.o.d"
+  "ccds_test"
+  "ccds_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ccds_test.
+# This may be replaced when dependencies are built.

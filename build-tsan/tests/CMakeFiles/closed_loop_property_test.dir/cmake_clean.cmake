@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/closed_loop_property_test.dir/closed_loop_property_test.cpp.o"
+  "CMakeFiles/closed_loop_property_test.dir/closed_loop_property_test.cpp.o.d"
+  "closed_loop_property_test"
+  "closed_loop_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/closed_loop_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

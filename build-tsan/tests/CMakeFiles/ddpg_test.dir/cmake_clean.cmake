@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddpg_test.dir/ddpg_test.cpp.o"
+  "CMakeFiles/ddpg_test.dir/ddpg_test.cpp.o.d"
+  "ddpg_test"
+  "ddpg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddpg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lie_test.dir/lie_test.cpp.o"
+  "CMakeFiles/lie_test.dir/lie_test.cpp.o.d"
+  "lie_test"
+  "lie_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lie_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ls_fit_test.dir/ls_fit_test.cpp.o"
+  "CMakeFiles/ls_fit_test.dir/ls_fit_test.cpp.o.d"
+  "ls_fit_test"
+  "ls_fit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ls_fit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lyapunov_mc_test.dir/lyapunov_mc_test.cpp.o"
+  "CMakeFiles/lyapunov_mc_test.dir/lyapunov_mc_test.cpp.o.d"
+  "lyapunov_mc_test"
+  "lyapunov_mc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lyapunov_mc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimax_property_test.dir/minimax_property_test.cpp.o"
+  "CMakeFiles/minimax_property_test.dir/minimax_property_test.cpp.o.d"
+  "minimax_property_test"
+  "minimax_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimax_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

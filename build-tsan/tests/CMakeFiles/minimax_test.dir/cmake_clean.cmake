@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimax_test.dir/minimax_test.cpp.o"
+  "CMakeFiles/minimax_test.dir/minimax_test.cpp.o.d"
+  "minimax_test"
+  "minimax_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimax_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nncontroller_test.dir/nncontroller_test.cpp.o"
+  "CMakeFiles/nncontroller_test.dir/nncontroller_test.cpp.o.d"
+  "nncontroller_test"
+  "nncontroller_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nncontroller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pac_fit_test.cpp" "tests/CMakeFiles/pac_fit_test.dir/pac_fit_test.cpp.o" "gcc" "tests/CMakeFiles/pac_fit_test.dir/pac_fit_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/scs_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scs_rl.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scs_pac.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scs_baseline.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scs_barrier.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scs_sos.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scs_opt.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scs_nn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scs_systems.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scs_poly.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scs_ode.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scs_math.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/scs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pac_fit_test.dir/pac_fit_test.cpp.o"
+  "CMakeFiles/pac_fit_test.dir/pac_fit_test.cpp.o.d"
+  "pac_fit_test"
+  "pac_fit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pac_fit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

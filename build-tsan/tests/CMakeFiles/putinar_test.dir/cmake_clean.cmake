@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/putinar_test.dir/putinar_test.cpp.o"
+  "CMakeFiles/putinar_test.dir/putinar_test.cpp.o.d"
+  "putinar_test"
+  "putinar_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/putinar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_noise_test.dir/replay_noise_test.cpp.o"
+  "CMakeFiles/replay_noise_test.dir/replay_noise_test.cpp.o.d"
+  "replay_noise_test"
+  "replay_noise_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_noise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sos_program_extra_test.dir/sos_program_extra_test.cpp.o"
+  "CMakeFiles/sos_program_extra_test.dir/sos_program_extra_test.cpp.o.d"
+  "sos_program_extra_test"
+  "sos_program_extra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sos_program_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vec_mat_test.dir/vec_mat_test.cpp.o"
+  "CMakeFiles/vec_mat_test.dir/vec_mat_test.cpp.o.d"
+  "vec_mat_test"
+  "vec_mat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vec_mat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
