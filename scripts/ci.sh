@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# CI entry point: build the Release tree plus the sanitizer presets and run
+# the test suite in each. Any failure aborts the script.
+#
+# Usage:
+#   scripts/ci.sh            # Release + asan + ubsan (the default matrix)
+#   scripts/ci.sh release    # one configuration only
+#   scripts/ci.sh asan
+#   scripts/ci.sh ubsan
+#   scripts/ci.sh fault      # Release build, fault-labeled tests only,
+#                            # with the env-driven fault injector armed
+#
+# Label shortcuts (run from any built tree): ctest -L property|fault|golden.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+run_release() {
+  echo "==> Release build + full test suite"
+  cmake --preset default
+  cmake --build --preset default -j "${JOBS}"
+  ctest --preset default -j "${JOBS}" --output-on-failure
+}
+
+run_asan() {
+  echo "==> AddressSanitizer build + full test suite"
+  cmake --preset asan
+  cmake --build --preset asan -j "${JOBS}"
+  ctest --preset asan-all -j "${JOBS}" --output-on-failure
+}
+
+run_ubsan() {
+  echo "==> UndefinedBehaviorSanitizer build + full test suite"
+  cmake --preset ubsan
+  cmake --build --preset ubsan -j "${JOBS}"
+  ctest --preset ubsan-all -j "${JOBS}" --output-on-failure
+}
+
+run_fault() {
+  echo "==> Release build + fault-injection suite (SCS_FAULT_SEED armed)"
+  cmake --preset default
+  cmake --build --preset default -j "${JOBS}"
+  (cd build && SCS_FAULT_SEED="${SCS_FAULT_SEED:-12345}" \
+      ctest -L fault --output-on-failure)
+}
+
+case "${1:-all}" in
+  release) run_release ;;
+  asan)    run_asan ;;
+  ubsan)   run_ubsan ;;
+  fault)   run_fault ;;
+  all)     run_release; run_asan; run_ubsan ;;
+  *) echo "unknown configuration: $1 (want release|asan|ubsan|fault|all)" >&2
+     exit 2 ;;
+esac
+
+echo "==> CI matrix passed"

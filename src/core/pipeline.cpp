@@ -27,10 +27,10 @@ void apply_fast_mode(PipelineConfig& cfg, int& episodes, PacSettings& pac) {
   pac.max_degree = std::min(pac.max_degree, 3);
 }
 
-SynthesisResult run_stages_2_to_4(const Benchmark& benchmark,
-                                  const ControlLaw& law,
-                                  PipelineConfig config,
-                                  SynthesisResult result) {
+SynthesisResult run_stages_2_to_4_impl(const Benchmark& benchmark,
+                                       const ControlLaw& law,
+                                       PipelineConfig config,
+                                       SynthesisResult result) {
   Rng rng(config.seed + 1000);
   const Ccds& sys = benchmark.ccds;
   PacSettings pac_settings = benchmark.pac;
@@ -55,13 +55,20 @@ SynthesisResult run_stages_2_to_4(const Benchmark& benchmark,
       vec_fn, sys.num_controls, sys.domain, pac_settings, rng,
       config.pac_fit);
   result.pac = pac_vec.per_channel.front();
-  for (const auto& m : pac_vec.models)
+  for (const auto& m : pac_vec.models) {
     result.controller.push_back(m.poly * bound);
+    result.pac_degraded = result.pac_degraded || !m.pac_valid;
+  }
   result.pac_seconds = pac_sw.seconds();
   if (!pac_vec.success) {
     // Algorithm 1 failed to reach tau; proceed with the best model anyway
     // (verification decides), but record the stage as degraded.
     log_info("pipeline: PAC stage did not reach tau; continuing with best fit");
+  }
+  if (result.pac_degraded) {
+    log_info("pipeline[", benchmark.name,
+             "]: PAC guarantee withdrawn (least-squares fallback in use); "
+             "any verdict rests on verification + validation alone");
   }
 
   // ---- Stage 3: barrier-certificate generation. The primary candidate is
@@ -92,9 +99,30 @@ SynthesisResult run_stages_2_to_4(const Benchmark& benchmark,
       }
     }
   }
+  if (!result.barrier.success &&
+      barrier_cfg.lambda_strategy != LambdaStrategy::kAlternating) {
+    // Last rung of the barrier-stage ladder: the paper's alternating (BMI)
+    // schedule searches over lambda as well, which regularly rescues
+    // instances where every fixed-lambda SOS program stalls or is rejected.
+    log_info("pipeline[", benchmark.name,
+             "]: fixed-lambda SOS failed; retrying with the alternating "
+             "schedule before reporting UNVERIFIED");
+    BarrierConfig alt_cfg = barrier_cfg;
+    alt_cfg.lambda_strategy = LambdaStrategy::kAlternating;
+    BarrierResult alt = synthesize_barrier(sys, result.controller, alt_cfg);
+    alt.attempts += result.barrier.attempts;
+    if (alt.success) {
+      log_info("pipeline[", benchmark.name,
+               "]: alternating schedule recovered a certificate");
+      result.barrier = std::move(alt);
+    }
+  }
   result.barrier_seconds = barrier_sw.seconds();
   if (!result.barrier.success) {
     result.failure_stage = "barrier";
+    result.failure_message =
+        "barrier synthesis failed (incl. alternating-schedule retry): " +
+        result.barrier.failure_reason;
     return result;
   }
 
@@ -107,9 +135,34 @@ SynthesisResult run_stages_2_to_4(const Benchmark& benchmark,
   result.validation_seconds = validation_sw.seconds();
   if (!result.validation.passed) {
     result.failure_stage = "validation";
+    result.failure_message = "independent numeric validation rejected the "
+                             "certificate";
     return result;
   }
   result.success = true;
+  return result;
+}
+
+/// Never-crash wrapper: any exception escaping a stage (precondition
+/// violations included) is converted into a structured UNVERIFIED result.
+/// A synthesis pipeline that aborts on one bad instance is useless for
+/// batch benchmarking and for the fault-injection suite.
+SynthesisResult run_stages_2_to_4(const Benchmark& benchmark,
+                                  const ControlLaw& law,
+                                  PipelineConfig config,
+                                  SynthesisResult result) {
+  try {
+    // Pass a copy so a throwing stage leaves the caller-visible fields
+    // (benchmark name, RL telemetry) intact for the failure report.
+    result = run_stages_2_to_4_impl(benchmark, law, std::move(config), result);
+  } catch (const std::exception& e) {
+    log_info("pipeline[", benchmark.name, "]: stage threw (", e.what(),
+             "); reporting UNVERIFIED");
+    result.success = false;
+    if (result.failure_stage.empty()) result.failure_stage = "exception";
+    result.failure_message = e.what();
+  }
+  result.verdict = result.success ? "VERIFIED" : "UNVERIFIED";
   return result;
 }
 
@@ -134,17 +187,26 @@ SynthesisResult synthesize(const Benchmark& benchmark,
   // ---- Stage 1: DDPG training of the auxiliary DNN controller.
   Stopwatch rl_sw;
   Rng rng(cfg.seed);
-  ControlEnv env(sys, cfg.env);
-  DdpgAgent agent(sys.num_states, sys.num_controls, cfg.ddpg, rng);
-  result.dnn_structure = agent.actor().structure_string();
-  agent.train(env, episodes, rng);
-  result.rl_eval = agent.evaluate(env, cfg.eval_episodes, rng);
-  result.rl_seconds = rl_sw.seconds();
-  log_info("pipeline[", benchmark.name, "]: RL done in ", result.rl_seconds,
-           "s, eval safety rate ", result.rl_eval.safety_rate);
+  try {
+    ControlEnv env(sys, cfg.env);
+    DdpgAgent agent(sys.num_states, sys.num_controls, cfg.ddpg, rng);
+    result.dnn_structure = agent.actor().structure_string();
+    agent.train(env, episodes, rng);
+    result.rl_eval = agent.evaluate(env, cfg.eval_episodes, rng);
+    result.rl_seconds = rl_sw.seconds();
+    log_info("pipeline[", benchmark.name, "]: RL done in ", result.rl_seconds,
+             "s, eval safety rate ", result.rl_eval.safety_rate);
 
-  result = run_stages_2_to_4(benchmark, agent.control_law(sys.control_bound),
-                             cfg, std::move(result));
+    result = run_stages_2_to_4(benchmark, agent.control_law(sys.control_bound),
+                               cfg, std::move(result));
+  } catch (const std::exception& e) {
+    log_info("pipeline[", benchmark.name, "]: RL stage threw (", e.what(),
+             "); reporting UNVERIFIED");
+    result.success = false;
+    result.failure_stage = "rl";
+    result.failure_message = e.what();
+    result.verdict = "UNVERIFIED";
+  }
   result.total_seconds = total_sw.seconds();
   return result;
 }

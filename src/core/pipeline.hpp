@@ -48,6 +48,15 @@ struct SynthesisResult {
   std::string benchmark;
   bool success = false;
   std::string failure_stage;  // "rl" | "pac" | "barrier" | "validation"
+  /// Final verdict: "VERIFIED" only when every stage succeeded (including
+  /// independent validation); otherwise "UNVERIFIED". The pipeline never
+  /// aborts the process on a solver failure -- numeric trouble in any stage
+  /// degrades to an UNVERIFIED verdict with the reason in failure_message.
+  std::string verdict = "UNVERIFIED";
+  std::string failure_message;
+  /// True when any control channel came from the least-squares fallback
+  /// (PAC guarantee withdrawn; see PacModel::pac_valid).
+  bool pac_degraded = false;
 
   // Stage 1.
   std::string dnn_structure;

@@ -89,6 +89,7 @@ std::string table2_row(const Benchmark& benchmark,
 std::string stage_timings_json(const SynthesisResult& result) {
   std::ostringstream os;
   os << "{\"benchmark\":\"" << result.benchmark << "\""
+     << ",\"verdict\":\"" << result.verdict << "\""
      << ",\"rl_seconds\":" << fmt_double(result.rl_seconds, 6)
      << ",\"pac_seconds\":" << fmt_double(result.pac_seconds, 6)
      << ",\"barrier_seconds\":" << fmt_double(result.barrier_seconds, 6)

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/check.hpp"
+#include "util/fault_injector.hpp"
 
 namespace scs {
 
@@ -14,6 +15,9 @@ Cholesky::Cholesky(const Mat& a, double tol) : l_(a.rows(), a.cols()) {
     double djj = a(j, j);
     const double* lrow_j = l_.row_ptr(j);
     for (std::size_t k = 0; k < j; ++k) djj -= lrow_j[k] * lrow_j[k];
+    if (fault_injection_enabled())
+      djj = FaultInjector::instance().perturb_pivot(FaultSite::kCholeskyPivot,
+                                                    djj);
     if (djj <= tol) {
       ok_ = false;
       return;

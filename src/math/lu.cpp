@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/check.hpp"
+#include "util/fault_injector.hpp"
 
 namespace scs {
 
@@ -22,6 +23,8 @@ Lu::Lu(const Mat& a, double pivot_tol) : lu_(a), perm_(a.rows()) {
         piv = i;
       }
     }
+    if (fault_injection_enabled())
+      best = FaultInjector::instance().perturb_pivot(FaultSite::kLuPivot, best);
     if (best <= pivot_tol) {
       singular_ = true;
       return;
@@ -63,6 +66,28 @@ Vec Lu::solve(const Vec& b) const {
     for (std::size_t j = ii + 1; j < n; ++j) acc -= row[j] * x[j];
     x[ii] = acc / row[ii];
   }
+  return x;
+}
+
+Vec Lu::solve_transposed(const Vec& b) const {
+  SCS_REQUIRE(!singular_, "Lu::solve_transposed: matrix is singular");
+  SCS_REQUIRE(b.size() == lu_.rows(), "Lu::solve_transposed: size mismatch");
+  const std::size_t n = lu_.rows();
+  // A = P^T L U, so A^T = U^T L^T P: forward-substitute U^T, back-substitute
+  // the unit-diagonal L^T, then undo the row permutation.
+  Vec z(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(j, i) * z[j];
+    z[i] = acc / lu_(i, i);
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = z[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(j, ii) * z[j];
+    z[ii] = acc;
+  }
+  Vec x(n);
+  for (std::size_t i = 0; i < n; ++i) x[perm_[i]] = z[i];
   return x;
 }
 

@@ -21,6 +21,8 @@ class Lu {
   Vec solve(const Vec& b) const;
   /// Solve A X = B column-by-column.
   Mat solve(const Mat& b) const;
+  /// Solve A^T x = b (used by the Hager condition estimator).
+  Vec solve_transposed(const Vec& b) const;
 
   /// Determinant of A (0 if flagged singular).
   double determinant() const;

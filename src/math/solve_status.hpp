@@ -1,0 +1,32 @@
+// Structured outcomes for the robust linear-solve layer.
+//
+// The factorizations in math/ report failure with a bool; the robustness
+// layer (math/robust_solve) turns "failed" into a graded outcome so callers
+// can distinguish "clean", "recovered", and "hopeless" instead of asserting.
+#pragma once
+
+namespace scs {
+
+enum class SolveStatus {
+  kOk,           // factored cleanly, residual within tolerance untouched
+  kRefined,      // factored cleanly; iterative refinement reduced a large
+                 // residual below tolerance
+  kRegularized,  // needed one or more diagonal-regularization retries
+  kFailed,       // no finite solution even after regularization
+};
+
+inline const char* to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOk:
+      return "ok";
+    case SolveStatus::kRefined:
+      return "refined";
+    case SolveStatus::kRegularized:
+      return "regularized";
+    case SolveStatus::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+}  // namespace scs

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "math/cholesky.hpp"
+#include "math/robust_solve.hpp"
 #include "opt/simplex.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
@@ -21,9 +22,12 @@ Vec residuals(const Mat& design, const Vec& targets, const Vec& c) {
   return r;
 }
 
-/// Weighted least squares via normal equations with a small ridge.
-Vec weighted_ls(const Mat& design, const Vec& targets, const Vec& w,
-                double ridge) {
+/// Weighted least squares via normal equations, solved through the robust
+/// layer: a severely ill-conditioned basis gets diagonal-regularization
+/// retries plus one round of iterative refinement instead of an exception.
+/// `ok()` is false only when even the regularized factorization failed.
+LinearSolveReport weighted_ls(const Mat& design, const Vec& targets,
+                              const Vec& w, double ridge) {
   const std::size_t v = design.cols();
   Mat g(v, v);
   Vec rhs(v, 0.0);
@@ -43,20 +47,7 @@ Vec weighted_ls(const Mat& design, const Vec& targets, const Vec& w,
     g(a, a) += ridge;
     for (std::size_t bcol = a + 1; bcol < v; ++bcol) g(bcol, a) = g(a, bcol);
   }
-  Cholesky chol(g);
-  if (!chol.ok()) {
-    // Severely ill-conditioned basis: escalate the ridge until it factors.
-    double jitter = std::max(ridge, 1e-12);
-    for (int k = 0; k < 20; ++k) {
-      jitter *= 10.0;
-      Mat gj = g;
-      for (std::size_t a = 0; a < v; ++a) gj(a, a) += jitter;
-      Cholesky cj(gj);
-      if (cj.ok()) return cj.solve(rhs);
-    }
-    throw InternalError("weighted_ls: normal equations not factorizable");
-  }
-  return chol.solve(rhs);
+  return robust_solve_spd(g, rhs);
 }
 
 /// Exact minimax LP over a support subset. Returns (c, e) solving
@@ -117,9 +108,30 @@ MinimaxFitResult minimax_fit(const Mat& design, const Vec& targets,
 
   MinimaxFitResult result;
 
+  // Non-finite targets (upstream evaluation blow-ups, injected NaNs) poison
+  // every normal-equation solve; surface a structured failure instead.
+  for (std::size_t i = 0; i < k_samples; ++i) {
+    if (!std::isfinite(targets[i])) {
+      result.ok = false;
+      result.note = "non-finite target at sample " + std::to_string(i);
+      result.coefficients = Vec(v, 0.0);
+      result.error = std::numeric_limits<double>::infinity();
+      return result;
+    }
+  }
+
   // ---- Stage 1: Lawson IRLS toward the Chebyshev solution.
   Vec w(k_samples, 1.0 / static_cast<double>(k_samples));
-  Vec c = weighted_ls(design, targets, w, options.ridge);
+  LinearSolveReport ls = weighted_ls(design, targets, w, options.ridge);
+  if (!ls.ok()) {
+    result.ok = false;
+    result.note = "weighted least-squares core failed even with "
+                  "regularization";
+    result.coefficients = Vec(v, 0.0);
+    result.error = targets.max_abs();
+    return result;
+  }
+  Vec c = std::move(ls.x);
   double prev_e = std::numeric_limits<double>::infinity();
   for (int it = 0; it < options.lawson_iterations; ++it) {
     const Vec r = residuals(design, targets, c);
@@ -136,7 +148,14 @@ MinimaxFitResult minimax_fit(const Mat& design, const Vec& targets,
     }
     if (sum <= 0.0) break;
     for (auto& wi : w) wi /= sum;
-    c = weighted_ls(design, targets, w, options.ridge);
+    LinearSolveReport step = weighted_ls(design, targets, w, options.ridge);
+    if (!step.ok()) {
+      // Keep the last good iterate; the exchange stage can still refine it.
+      result.note = "Lawson step " + std::to_string(it) +
+                    " lost the normal equations; kept previous iterate";
+      break;
+    }
+    c = std::move(step.x);
   }
 
   // ---- Stage 2: exchange refinement with exact support LPs.

@@ -11,6 +11,8 @@
 // matches the LP optimum to within `exchange_tol`.
 #pragma once
 
+#include <string>
+
 #include "math/mat.hpp"
 #include "math/vec.hpp"
 
@@ -29,6 +31,12 @@ struct MinimaxFitResult {
   double error = 0.0;     // max_i |u_i - phi_i' c*| over all samples
   double support_error = 0.0;  // LP optimum on the final support set
   bool exact = false;     // exchange converged to the global LP optimum
+  /// False when no usable Chebyshev iterate could be produced at all (e.g.
+  /// the weighted least-squares core failed even with regularization, or the
+  /// targets contain non-finite values). Callers should fall back to a plain
+  /// least-squares fit; minimax_fit never throws for numeric reasons.
+  bool ok = true;
+  std::string note;       // diagnostic for !ok / degraded runs
   int lawson_iterations = 0;
   int exchange_rounds = 0;
   std::vector<std::size_t> support;  // active sample indices at optimum

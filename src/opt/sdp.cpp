@@ -5,11 +5,32 @@
 #include <limits>
 
 #include "math/cholesky.hpp"
+#include "math/robust_solve.hpp"
 #include "util/check.hpp"
+#include "util/fault_injector.hpp"
 #include "util/log.hpp"
+#include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
 namespace scs {
+
+const char* to_string(SdpStatus status) {
+  switch (status) {
+    case SdpStatus::kConverged:
+      return "converged";
+    case SdpStatus::kMaxIterations:
+      return "max-iterations";
+    case SdpStatus::kNumericalFailure:
+      return "numerical-failure";
+    case SdpStatus::kInfeasible:
+      return "infeasible";
+    case SdpStatus::kStalled:
+      return "stalled";
+    case SdpStatus::kTimeLimit:
+      return "time-limit";
+  }
+  return "?";
+}
 
 namespace {
 
@@ -78,9 +99,21 @@ struct Residuals {
   double mu = 0.0;
 };
 
-}  // namespace
+/// Data-driven starting scale for the identity initial iterates.
+double auto_scale(const SdpProblem& problem) {
+  Vec b(problem.constraints.size());
+  for (std::size_t i = 0; i < problem.constraints.size(); ++i)
+    b[i] = problem.constraints[i].rhs;
+  double data = b.max_abs();
+  for (const auto& con : problem.constraints)
+    for (const auto& e : con.entries) data = std::max(data, std::fabs(e.value));
+  return 10.0 * std::max(1.0, std::sqrt(data));
+}
 
-SdpSolution solve_sdp(const SdpProblem& problem, const SdpOptions& options) {
+/// One interior-point run at a fixed starting scale. `budget_sw` counts
+/// wall-clock across the whole solve_sdp call (retries included).
+SdpSolution solve_sdp_once(const SdpProblem& problem, const SdpOptions& options,
+                           const Stopwatch& budget_sw) {
   const std::size_t num_blocks = problem.block_dims.size();
   const std::size_t m = problem.constraints.size();
   const std::size_t s = problem.num_free;
@@ -156,13 +189,7 @@ SdpSolution solve_sdp(const SdpProblem& problem, const SdpOptions& options) {
 
   // ---- Initial iterates.
   double scale = options.initial_scale;
-  if (scale <= 0.0) {
-    double data = b.max_abs();
-    for (std::size_t i = 0; i < m; ++i)
-      for (const auto& e : problem.constraints[i].entries)
-        data = std::max(data, std::fabs(e.value));
-    scale = 10.0 * std::max(1.0, std::sqrt(data));
-  }
+  if (scale <= 0.0) scale = auto_scale(problem);
   std::vector<Mat> x(num_blocks), sm(num_blocks);
   std::size_t total_dim = 0;
   for (std::size_t l = 0; l < num_blocks; ++l) {
@@ -214,6 +241,11 @@ SdpSolution solve_sdp(const SdpProblem& problem, const SdpOptions& options) {
 
   const double b_norm = 1.0 + b.norm();
 
+  // Stall detector state: the merit must drop by a relative
+  // `stall_improvement` at least once per `stall_window` iterations.
+  double best_merit = std::numeric_limits<double>::infinity();
+  int best_merit_iter = 0;
+
   Residuals res;
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     sol.iterations = iter + 1;
@@ -237,6 +269,32 @@ SdpSolution solve_sdp(const SdpProblem& problem, const SdpOptions& options) {
         d_infeas < options.tol_feasibility && gap < options.tol_gap) {
       sol.status = SdpStatus::kConverged;
       break;
+    }
+
+    // Wall-clock budget (shared across retries by the caller).
+    if (options.wall_clock_budget > 0.0 &&
+        budget_sw.seconds() > options.wall_clock_budget) {
+      sol.status = SdpStatus::kTimeLimit;
+      break;
+    }
+
+    // Stall detection on the merit max(p_inf, d_inf, gap).
+    const double merit = std::max({p_infeas, d_infeas, gap});
+    if (merit < best_merit * (1.0 - options.stall_improvement)) {
+      best_merit = merit;
+      best_merit_iter = iter;
+    } else if (iter - best_merit_iter >= options.stall_window) {
+      sol.status = SdpStatus::kStalled;
+      break;
+    }
+
+    // Fault injection: a suppressed step makes no progress this iteration,
+    // so a sustained fault surfaces through the stall detector above.
+    if (fault_injection_enabled() &&
+        FaultInjector::instance().should_fire(FaultSite::kSdpStall)) {
+      if (iter + 1 == options.max_iterations)
+        sol.status = SdpStatus::kMaxIterations;
+      continue;
     }
 
     // ---- Factor S blocks and precompute S^{-1}, plus X for step lengths.
@@ -321,18 +379,21 @@ SdpSolution solve_sdp(const SdpProblem& problem, const SdpOptions& options) {
     for (std::size_t i = 0; i < m; ++i)
       schur(i, i) += 1e-13 * std::max(1.0, diag_max);
 
-    Cholesky chol_m(schur);
-    if (!chol_m.ok()) {
+    // Robust factorization: a near-singular Schur complement (nearly
+    // dependent constraints) gets an escalating ridge before giving up.
+    const RobustCholesky rchol_m = robust_cholesky(schur);
+    if (!rchol_m.ok()) {
       sol.status = SdpStatus::kNumericalFailure;
       break;
     }
+    const Cholesky& chol_m = rchol_m.factor;
 
     // Free-variable coupling: W = M^{-1} B, T = B' W.
     Mat bmat;  // m x s (dense; s is small)
     Mat w_free;
     Mat t_free;
-    Cholesky* chol_t = nullptr;
-    Cholesky chol_t_storage(Mat::identity(1));
+    const Cholesky* chol_t = nullptr;
+    RobustCholesky rchol_t;
     if (s > 0) {
       bmat = Mat(m, s);
       for (std::size_t i = 0; i < m; ++i)
@@ -344,12 +405,12 @@ SdpSolution solve_sdp(const SdpProblem& problem, const SdpOptions& options) {
       t_free = matmul_at_b(bmat, w_free);
       // Ridge for safety (B should have full column rank).
       for (std::size_t j = 0; j < s; ++j) t_free(j, j) += 1e-13;
-      chol_t_storage = Cholesky(t_free);
-      if (!chol_t_storage.ok()) {
+      rchol_t = robust_cholesky(t_free);
+      if (!rchol_t.ok()) {
         sol.status = SdpStatus::kNumericalFailure;
         break;
       }
-      chol_t = &chol_t_storage;
+      chol_t = &rchol_t.factor;
     }
 
     // Helper: given the complementarity target matrices Z_l (so that
@@ -452,7 +513,9 @@ SdpSolution solve_sdp(const SdpProblem& problem, const SdpOptions& options) {
     ap *= options.step_fraction;
     ad *= options.step_fraction;
     if (ap < 1e-10 && ad < 1e-10) {
-      sol.status = SdpStatus::kNumericalFailure;
+      // Both step lengths collapsed: the iteration can no longer move, which
+      // is a stall (often near-infeasibility), not corrupted arithmetic.
+      sol.status = SdpStatus::kStalled;
       break;
     }
 
@@ -477,6 +540,49 @@ SdpSolution solve_sdp(const SdpProblem& problem, const SdpOptions& options) {
   obj += dot(cf, sol.free_vars);
   sol.primal_objective = obj;
   return sol;
+}
+
+}  // namespace
+
+SdpSolution solve_sdp(const SdpProblem& problem, const SdpOptions& options) {
+  Stopwatch budget_sw;
+  SdpSolution best = solve_sdp_once(problem, options, budget_sw);
+  if (best.status == SdpStatus::kConverged ||
+      best.status == SdpStatus::kInfeasible ||
+      best.status == SdpStatus::kTimeLimit)
+    return best;
+
+  // Bounded retry-and-rescale: restart from scaled initial iterates, probing
+  // above then below the base scale. Infeasible-start interior-point methods
+  // are sensitive to the starting point, so a stalled instance often
+  // converges cleanly from a different scale.
+  const double base_scale =
+      (options.initial_scale > 0.0) ? options.initial_scale
+                                    : auto_scale(problem);
+  const auto merit_of = [](const SdpSolution& s) {
+    return std::max({s.primal_infeasibility, s.dual_infeasibility,
+                     s.duality_gap});
+  };
+  for (int retry = 1; retry <= options.max_retries; ++retry) {
+    if (options.wall_clock_budget > 0.0 &&
+        budget_sw.seconds() > options.wall_clock_budget)
+      break;
+    SdpOptions retry_options = options;
+    const double factor =
+        std::pow(options.retry_scale_factor, (retry + 1) / 2);
+    retry_options.initial_scale =
+        (retry % 2 == 1) ? base_scale * factor : base_scale / factor;
+    log_info("sdp: ", to_string(best.status), " after ", best.iterations,
+             " iterations; retry ", retry, "/", options.max_retries,
+             " at scale ", retry_options.initial_scale);
+    SdpSolution next = solve_sdp_once(problem, retry_options, budget_sw);
+    next.restarts = retry;
+    if (next.status == SdpStatus::kConverged ||
+        next.status == SdpStatus::kInfeasible)
+      return next;
+    if (merit_of(next) < merit_of(best)) best = next;
+  }
+  return best;
 }
 
 }  // namespace scs

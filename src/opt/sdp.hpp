@@ -53,7 +53,12 @@ enum class SdpStatus {
   kMaxIterations,      // ran out of iterations (inspect residuals)
   kNumericalFailure,   // lost positive definiteness / factorization failed
   kInfeasible,         // structurally infeasible (inconsistent empty row)
+  kStalled,            // no merit progress over a full stall window, or the
+                       // step lengths collapsed (structured, not garbage)
+  kTimeLimit,          // wall_clock_budget exhausted mid-solve
 };
+
+const char* to_string(SdpStatus status);
 
 struct SdpSolution {
   SdpStatus status = SdpStatus::kNumericalFailure;
@@ -65,6 +70,8 @@ struct SdpSolution {
   double dual_infeasibility = 0.0;
   double duality_gap = 0.0;           // normalized <X, S>
   int iterations = 0;
+  /// Rescale-and-retry restarts consumed before this solution was produced.
+  int restarts = 0;
 };
 
 struct SdpOptions {
@@ -74,6 +81,21 @@ struct SdpOptions {
   double step_fraction = 0.98;
   double initial_scale = 0.0;  // 0 = auto from problem data
   bool verbose = false;
+
+  // ---- Robustness controls.
+  /// Stall detector: no relative merit improvement of at least
+  /// `stall_improvement` over `stall_window` consecutive iterations reports
+  /// kStalled instead of grinding to kMaxIterations.
+  int stall_window = 15;
+  double stall_improvement = 0.05;
+  /// Bounded retry-and-rescale: after kStalled / kNumericalFailure the solve
+  /// restarts with the initial scale multiplied by `retry_scale_factor`
+  /// (alternating above / below the base scale), up to `max_retries` times.
+  int max_retries = 2;
+  double retry_scale_factor = 8.0;
+  /// Wall-clock budget in seconds for the whole solve including retries;
+  /// 0 = unlimited. Exceeding it reports kTimeLimit.
+  double wall_clock_budget = 0.0;
 };
 
 SdpSolution solve_sdp(const SdpProblem& problem, const SdpOptions& options = {});

@@ -5,8 +5,25 @@
 #include <limits>
 
 #include "util/check.hpp"
+#include "util/stopwatch.hpp"
 
 namespace scs {
+
+const char* to_string(LpStatus status) {
+  switch (status) {
+    case LpStatus::kOptimal:
+      return "optimal";
+    case LpStatus::kInfeasible:
+      return "infeasible";
+    case LpStatus::kUnbounded:
+      return "unbounded";
+    case LpStatus::kIterationLimit:
+      return "iteration-limit";
+    case LpStatus::kTimeLimit:
+      return "time-limit";
+  }
+  return "?";
+}
 
 namespace {
 
@@ -14,8 +31,18 @@ namespace {
 /// inverse is maintained densely and refreshed by elementary pivots.
 class SimplexCore {
  public:
-  SimplexCore(const Mat& a, const Vec& b, const Vec& c, double tol)
-      : a_(a), b_(b), c_(c), m_(a.rows()), n_(a.cols()), tol_(tol) {}
+  SimplexCore(const Mat& a, const Vec& b, const Vec& c, double tol,
+              const Stopwatch* budget_sw = nullptr,
+              double budget_seconds = 0.0, bool force_bland = false)
+      : a_(a),
+        b_(b),
+        c_(c),
+        m_(a.rows()),
+        n_(a.cols()),
+        tol_(tol),
+        budget_sw_(budget_sw),
+        budget_seconds_(budget_seconds),
+        force_bland_(force_bland) {}
 
   /// Run from the given starting basis. Returns the termination status.
   LpStatus run(std::vector<std::size_t>& basis, Mat& binv, int max_iters,
@@ -23,14 +50,20 @@ class SimplexCore {
     int degenerate_streak = 0;
     for (int it = 0; it < max_iters; ++it) {
       if (iterations_used != nullptr) *iterations_used = it;
+      // Wall-clock budget, checked coarsely to keep the loop lean.
+      if (budget_seconds_ > 0.0 && (it & 63) == 0 && budget_sw_ != nullptr &&
+          budget_sw_->seconds() > budget_seconds_)
+        return LpStatus::kTimeLimit;
       // Duals y = c_B' B^{-1}; reduced costs r_j = c_j - y' A_j.
       Vec cb(m_);
       for (std::size_t i = 0; i < m_; ++i) cb[i] = c_[basis[i]];
       const Vec y = matvec_t(binv, cb);
 
       // Pricing: Dantzig rule normally; Bland's rule after a degenerate
-      // streak to guarantee termination.
-      const bool bland = degenerate_streak > 2 * static_cast<int>(m_) + 20;
+      // streak (or from the start, in the anti-cycling fallback) to
+      // guarantee termination.
+      const bool bland =
+          force_bland_ || degenerate_streak > 2 * static_cast<int>(m_) + 20;
       std::size_t enter = n_;
       double best = -tol_;
       for (std::size_t j = 0; j < n_; ++j) {
@@ -97,7 +130,35 @@ class SimplexCore {
   const Vec& c_;
   std::size_t m_, n_;
   double tol_;
+  const Stopwatch* budget_sw_ = nullptr;
+  double budget_seconds_ = 0.0;
+  bool force_bland_ = false;
 };
+
+/// Run one phase; when Dantzig pricing exhausts the iteration budget and the
+/// fallback is enabled, rewind to the phase's starting basis and rerun under
+/// pure Bland's rule (degenerate pivots cannot cycle there).
+LpStatus run_phase(const Mat& a, const Vec& b, const Vec& c,
+                   const LpOptions& options, const Stopwatch& budget_sw,
+                   std::vector<std::size_t>& basis, Mat& binv,
+                   int* total_iterations) {
+  const std::vector<std::size_t> basis0 = basis;
+  const Mat binv0 = binv;
+  int iters = 0;
+  SimplexCore core(a, b, c, options.tol, &budget_sw,
+                   options.wall_clock_seconds, false);
+  LpStatus st = core.run(basis, binv, options.max_iterations, &iters);
+  *total_iterations += iters;
+  if (st == LpStatus::kIterationLimit && options.bland_restart) {
+    basis = basis0;
+    binv = binv0;
+    SimplexCore bland(a, b, c, options.tol, &budget_sw,
+                      options.wall_clock_seconds, true);
+    st = bland.run(basis, binv, options.max_iterations, &iters);
+    *total_iterations += iters;
+  }
+  return st;
+}
 
 }  // namespace
 
@@ -131,12 +192,11 @@ LpSolution solve_lp(const LpProblem& problem, const LpOptions& options) {
   for (std::size_t i = 0; i < m; ++i) basis[i] = n + i;
   Mat binv = Mat::identity(m);
 
+  Stopwatch budget_sw;
   {
-    SimplexCore core(a1, b, c1, options.tol);
-    int iters = 0;
-    const LpStatus st = core.run(basis, binv, options.max_iterations, &iters);
-    sol.iterations += iters;
-    if (st == LpStatus::kIterationLimit) {
+    const LpStatus st =
+        run_phase(a1, b, c1, options, budget_sw, basis, binv, &sol.iterations);
+    if (st == LpStatus::kIterationLimit || st == LpStatus::kTimeLimit) {
       sol.status = st;
       return sol;
     }
@@ -197,10 +257,8 @@ LpSolution solve_lp(const LpProblem& problem, const LpOptions& options) {
   for (std::size_t i = 0; i < m; ++i) c2[n + i] = 1e6 * big;
 
   {
-    SimplexCore core(a2, b, c2, options.tol);
-    int iters = 0;
-    const LpStatus st = core.run(basis, binv, options.max_iterations, &iters);
-    sol.iterations += iters;
+    const LpStatus st =
+        run_phase(a2, b, c2, options, budget_sw, basis, binv, &sol.iterations);
     if (st != LpStatus::kOptimal) {
       sol.status = st;
       return sol;

@@ -14,7 +14,15 @@
 
 namespace scs {
 
-enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+enum class LpStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+  kTimeLimit,  // wall_clock_seconds budget exhausted
+};
+
+const char* to_string(LpStatus status);
 
 struct LpProblem {
   Mat a;  // m x n
@@ -34,6 +42,13 @@ struct LpSolution {
 struct LpOptions {
   int max_iterations = 20000;
   double tol = 1e-9;
+  /// Wall-clock budget in seconds for the whole solve (both phases and the
+  /// Bland fallback); 0 = unlimited.
+  double wall_clock_seconds = 0.0;
+  /// When Dantzig pricing hits the iteration limit (heavy degeneracy /
+  /// cycling), restart the failed phase once under pure Bland's rule, which
+  /// terminates by construction.
+  bool bland_restart = true;
 };
 
 /// Solve a standard-form LP. Rows of A should be linearly independent;

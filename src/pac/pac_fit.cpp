@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 
+#include "math/robust_solve.hpp"
 #include "opt/minimax_fit.hpp"
 #include "pac/scenario.hpp"
 #include "poly/basis.hpp"
 #include "util/check.hpp"
+#include "util/fault_injector.hpp"
 #include "util/log.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
@@ -19,6 +21,72 @@ namespace {
 /// the substream forked for each chunk) depends only on K, so the drawn
 /// scenarios are bitwise-identical at any thread count.
 constexpr std::size_t kScenarioChunk = 256;
+
+/// Screen non-finite targets (controller evaluation blow-ups, injected
+/// NaNs at the law -> PAC boundary) out of the scenario program. Returns the
+/// number of rows dropped; design/targets are compacted in place.
+std::size_t drop_nonfinite_samples(Mat& design, Vec& targets) {
+  const std::size_t k = design.rows();
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    bool finite = std::isfinite(targets[i]);
+    const double* row = design.row_ptr(i);
+    for (std::size_t j = 0; finite && j < design.cols(); ++j)
+      finite = std::isfinite(row[j]);
+    if (!finite) continue;
+    if (kept != i) {
+      design.set_row(kept, design.row(i));
+      targets[kept] = targets[i];
+    }
+    ++kept;
+  }
+  const std::size_t dropped = k - kept;
+  if (dropped > 0) {
+    Mat compact(kept, design.cols());
+    for (std::size_t i = 0; i < kept; ++i) compact.set_row(i, design.row(i));
+    design = std::move(compact);
+    Vec t(kept);
+    for (std::size_t i = 0; i < kept; ++i) t[i] = targets[i];
+    targets = std::move(t);
+  }
+  return dropped;
+}
+
+/// Plain least-squares fallback for a failed scenario program: the
+/// degradation ladder's last rung before giving up on this (d, eps) attempt.
+MinimaxFitResult least_squares_fallback(const Mat& design,
+                                        const Vec& targets) {
+  MinimaxFitResult out;
+  out.ok = false;
+  const std::size_t v = design.cols();
+  Mat g(v, v);
+  Vec rhs(v, 0.0);
+  for (std::size_t i = 0; i < design.rows(); ++i) {
+    const double* row = design.row_ptr(i);
+    for (std::size_t a = 0; a < v; ++a) {
+      rhs[a] += row[a] * targets[i];
+      for (std::size_t b = a; b < v; ++b) g(a, b) += row[a] * row[b];
+    }
+  }
+  for (std::size_t a = 0; a < v; ++a) {
+    g(a, a) += 1e-10;
+    for (std::size_t b = a + 1; b < v; ++b) g(b, a) = g(a, b);
+  }
+  const LinearSolveReport report = robust_solve_spd(g, rhs);
+  if (!report.ok()) {
+    out.coefficients = Vec(v, 0.0);
+    out.error = std::numeric_limits<double>::infinity();
+    out.note = "least-squares fallback failed too";
+    return out;
+  }
+  out.ok = true;
+  out.coefficients = report.x;
+  Vec r = targets;
+  r -= matvec(design, out.coefficients);
+  out.error = r.max_abs();
+  out.note = "least-squares fallback (no PAC guarantee)";
+  return out;
+}
 
 }  // namespace
 
@@ -103,12 +171,50 @@ PacResult pac_approximate(const ScalarFn& fn, const SemialgebraicSet& domain,
                      for (std::size_t i = begin; i < end; ++i) {
                        Vec x = domain.sample(chunk_rng);
                        targets[i] = fn(x);
+                       if (fault_injection_enabled())
+                         targets[i] = FaultInjector::instance().corrupt(
+                             FaultSite::kNanBoundary, targets[i]);
                        // Move the design point into unit-box coordinates.
                        for (std::size_t j = 0; j < n; ++j) x[j] *= s_inv[j];
                        design.set_row(i, evaluate_basis(basis, x));
                      }
                    });
-      const MinimaxFitResult fit = minimax_fit(design, targets);
+      // Screen non-finite rows at the boundary: a handful of bad samples
+      // (diverging controller rollouts, injected NaNs) must not poison the
+      // whole scenario program. Dropping rows weakens the Theorem-3 count,
+      // so the effective eps is recomputed from what actually survived.
+      row.dropped_samples = drop_nonfinite_samples(design, targets);
+      if (row.dropped_samples > 0) {
+        const std::uint64_t survived =
+            row.samples_used - row.dropped_samples;
+        log_info("pac: d=", d, " dropped ", row.dropped_samples,
+                 " non-finite sample(s) of ", row.samples_used);
+        row.samples_used = survived;
+        if (survived < basis.size() + 1) {
+          // Not enough scenarios left for a meaningful fit at this degree.
+          row.error = std::numeric_limits<double>::infinity();
+          row.eps = 1.0;
+          row.degraded = true;
+          row.seconds = sw.seconds();
+          result.trace.push_back(row);
+          error_list.push_back(row.error);
+          continue;
+        }
+        row.eps = scenario_eps_for_samples(survived, settings.eta, kappa);
+      }
+      MinimaxFitResult fit = minimax_fit(design, targets);
+      if (!fit.ok) {
+        // Degradation ladder: the scenario program (8) could not be solved;
+        // fall back to a plain least-squares fit so the pipeline can still
+        // hand a polynomial to the verification stage. The PAC guarantee is
+        // explicitly downgraded (eps = 1, pac_valid = false) -- Theorem 3
+        // does not hold for this model.
+        log_info("pac: d=", d, " minimax fit failed (", fit.note,
+                 "); degrading to least-squares, PAC guarantee withdrawn");
+        fit = least_squares_fallback(design, targets);
+        row.degraded = true;
+        row.eps = 1.0;
+      }
       row.error = fit.error;
       error_list.push_back(fit.error);
       row.delta_e = (error_list.size() >= 2)
@@ -118,7 +224,10 @@ PacResult pac_approximate(const ScalarFn& fn, const SemialgebraicSet& domain,
       // check(error_list): |delta e| small => e has converged for this d.
       row.converged = error_list.size() >= 2 &&
                       row.delta_e <= settings.delta_e_tol;
-      row.accepted = row.converged && fit.error <= settings.tau;
+      // A degraded (least-squares) row can never be *accepted*: acceptance
+      // is the PAC claim of Theorem 3, which the fallback does not carry.
+      row.accepted =
+          !row.degraded && row.converged && fit.error <= settings.tau;
       row.seconds = sw.seconds();
       result.trace.push_back(row);
 
@@ -136,6 +245,7 @@ PacResult pac_approximate(const ScalarFn& fn, const SemialgebraicSet& domain,
       degree_best.eta = settings.eta;
       degree_best.samples = row.samples_used;
       degree_best.degree = d;
+      degree_best.pac_valid = !row.degraded;
 
       if (row.accepted) {
         result.success = true;

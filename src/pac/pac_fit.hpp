@@ -29,6 +29,10 @@ struct PacModel {
   double eta = 0.0;
   std::uint64_t samples = 0;  // K
   int degree = 0;             // d_p
+  /// False when the scenario program could not be solved and the model is a
+  /// plain least-squares fallback: the Theorem-3 statement does NOT hold for
+  /// it (eps is reported as 1). Downstream verification still decides.
+  bool pac_valid = true;
 };
 
 /// One (d, eps) attempt -- a row of Table 1.
@@ -47,6 +51,11 @@ struct PacTraceRow {
   double delta_e = 0.0;            // |e - previous e| at this degree
   bool converged = false;          // check(error_list)
   bool accepted = false;           // converged and e <= tau
+  /// Minimax LP failed; this row's model is a least-squares fallback with no
+  /// PAC guarantee (eps forced to 1).
+  bool degraded = false;
+  /// Non-finite samples screened out at the layer boundary before fitting.
+  std::uint64_t dropped_samples = 0;
   double seconds = 0.0;
 };
 

@@ -284,14 +284,26 @@ SosProgram::Result SosProgram::solve(const SdpOptions& sdp_options,
     max_residual = std::max(max_residual, r / scale);
   }
 
+  // On rejection, carry the structured solver status (stalled, time-limit,
+  // ...) so callers can tell a numeric breakdown from a genuinely
+  // infeasible SOS program.
+  const auto sdp_suffix = [&result]() -> std::string {
+    if (result.sdp.status == SdpStatus::kConverged) return "";
+    std::string s = std::string(" [sdp ") + to_string(result.sdp.status);
+    if (result.sdp.restarts > 0)
+      s += " after " + std::to_string(result.sdp.restarts) + " restart(s)";
+    return s + "]";
+  };
   if (max_residual > identity_tol) {
     result.failure_reason = "identity residual " +
-                            std::to_string(max_residual) + " exceeds tol";
+                            std::to_string(max_residual) + " exceeds tol" +
+                            sdp_suffix();
     return result;
   }
   if (result.min_gram_eigenvalue < -gram_tol) {
     result.failure_reason = "Gram matrix not PSD (min eig " +
-                            std::to_string(result.min_gram_eigenvalue) + ")";
+                            std::to_string(result.min_gram_eigenvalue) + ")" +
+                            sdp_suffix();
     return result;
   }
   result.feasible = true;

@@ -1,0 +1,179 @@
+// Seeded property tests across the scs_poly layer (~200 randomized cases):
+// ring axioms on random polynomials, Lie-derivative linearity and the
+// product (Leibniz) rule, and compose-vs-evaluate agreement for
+// substitution, variable scaling, and closed-loop composition. Each suite
+// is parameterized by an explicit seed so a failure replays exactly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "poly/basis.hpp"
+#include "poly/lie.hpp"
+#include "poly/polynomial.hpp"
+#include "util/rng.hpp"
+
+namespace scs {
+namespace {
+
+Polynomial random_poly(std::size_t n, int degree, Rng& rng) {
+  const auto basis = monomials_up_to(n, degree);
+  Vec c(basis.size());
+  for (auto& v : c) v = rng.uniform(-2.0, 2.0);
+  return Polynomial::from_coefficients(basis, c);
+}
+
+std::vector<Polynomial> random_field(std::size_t n, int degree, Rng& rng) {
+  std::vector<Polynomial> f;
+  for (std::size_t i = 0; i < n; ++i) f.push_back(random_poly(n, degree, rng));
+  return f;
+}
+
+// ---------------------------------------------------------------------------
+// Ring axioms. 60 seeds x (7 coefficient identities + 4 evaluation points).
+
+class PolyRing : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolyRing, AxiomsHoldOnRandomPolynomials) {
+  Rng rng(GetParam());
+  const std::size_t n = 1 + rng.index(4);
+  const Polynomial a = random_poly(n, 1 + rng.index(3), rng);
+  const Polynomial b = random_poly(n, 1 + rng.index(3), rng);
+  const Polynomial c = random_poly(n, 1 + rng.index(2), rng);
+  const Polynomial one = Polynomial::constant(n, 1.0);
+  const Polynomial zero(n);
+
+  // Additive group.
+  EXPECT_LT(max_coefficient_diff((a + b) + c, a + (b + c)), 1e-12);
+  EXPECT_LT(max_coefficient_diff(a + b, b + a), 1e-12);
+  EXPECT_TRUE((a - a).is_zero());
+  EXPECT_LT(max_coefficient_diff(a + zero, a), 1e-15);
+  // Multiplicative monoid + distributivity.
+  EXPECT_LT(max_coefficient_diff(a * b, b * a), 1e-12);
+  EXPECT_LT(max_coefficient_diff((a * b) * c, a * (b * c)), 1e-9);
+  EXPECT_LT(max_coefficient_diff(a * one, a), 1e-15);
+  EXPECT_LT(max_coefficient_diff(a * (b + c), a * b + a * c), 1e-10);
+  // Scalar compatibility: 3a = a + a + a.
+  EXPECT_LT(max_coefficient_diff(a * 3.0, a + a + a), 1e-12);
+
+  // Evaluation is a ring homomorphism at random points.
+  for (int t = 0; t < 4; ++t) {
+    const Vec x(rng.uniform_vector(n, -1.5, 1.5));
+    EXPECT_NEAR((a * b).evaluate(x), a.evaluate(x) * b.evaluate(x), 1e-8);
+    EXPECT_NEAR((a - b).evaluate(x), a.evaluate(x) - b.evaluate(x), 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolyRing, ::testing::Range(1, 61));
+
+// ---------------------------------------------------------------------------
+// Lie derivative: linearity in B and the Leibniz product rule. 60 seeds.
+
+class LieDerivative : public ::testing::TestWithParam<int> {};
+
+TEST_P(LieDerivative, LinearityAndProductRule) {
+  Rng rng(1000 + GetParam());
+  const std::size_t n = 2 + rng.index(3);
+  const auto f = random_field(n, 2, rng);
+  const Polynomial b1 = random_poly(n, 1 + rng.index(3), rng);
+  const Polynomial b2 = random_poly(n, 1 + rng.index(3), rng);
+  const double alpha = rng.uniform(-3.0, 3.0);
+  const double beta = rng.uniform(-3.0, 3.0);
+
+  // L_f is linear: L_f(alpha B1 + beta B2) = alpha L_f B1 + beta L_f B2.
+  const Polynomial lhs = lie_derivative(b1 * alpha + b2 * beta, f);
+  const Polynomial rhs =
+      lie_derivative(b1, f) * alpha + lie_derivative(b2, f) * beta;
+  EXPECT_LT(max_coefficient_diff(lhs, rhs), 1e-9);
+
+  // Leibniz: L_f(B1 B2) = B1 L_f B2 + B2 L_f B1.
+  const Polynomial prod = lie_derivative(b1 * b2, f);
+  const Polynomial leibniz =
+      b1 * lie_derivative(b2, f) + b2 * lie_derivative(b1, f);
+  EXPECT_LT(max_coefficient_diff(prod, leibniz), 1e-8);
+
+  // L_f of a constant vanishes.
+  EXPECT_TRUE(lie_derivative(Polynomial::constant(n, 4.2), f).is_zero());
+
+  // Chain check at a random point: L_f B(x) = grad B(x) . f(x).
+  const Vec x(rng.uniform_vector(n, -1.0, 1.0));
+  double grad_dot_f = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    grad_dot_f += b1.derivative(i).evaluate(x) * f[i].evaluate(x);
+  EXPECT_NEAR(lie_derivative(b1, f).evaluate(x), grad_dot_f, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LieDerivative, ::testing::Range(1, 61));
+
+// ---------------------------------------------------------------------------
+// Compose-vs-evaluate agreement: symbolic substitution / scaling /
+// closed-loop composition must match pointwise evaluation. 60 seeds.
+
+class ComposeEvaluate : public ::testing::TestWithParam<int> {};
+
+TEST_P(ComposeEvaluate, SubstituteMatchesPointwise) {
+  Rng rng(2000 + GetParam());
+  const std::size_t n = 2 + rng.index(2);
+  const Polynomial p = random_poly(n, 1 + rng.index(3), rng);
+  const Polynomial q = random_poly(n, 1 + rng.index(2), rng);
+  const std::size_t var = rng.index(n);
+  const Polynomial composed = p.substitute(var, q);
+
+  for (int t = 0; t < 4; ++t) {
+    const Vec x(rng.uniform_vector(n, -1.2, 1.2));
+    Vec x_sub = x;
+    x_sub[var] = q.evaluate(x);
+    EXPECT_NEAR(composed.evaluate(x), p.evaluate(x_sub),
+                1e-7 * std::max(1.0, std::fabs(p.evaluate(x_sub))));
+  }
+}
+
+TEST_P(ComposeEvaluate, ScaleVarsMatchesPointwise) {
+  Rng rng(3000 + GetParam());
+  const std::size_t n = 1 + rng.index(3);
+  const Polynomial p = random_poly(n, 1 + rng.index(3), rng);
+  Vec s(n);
+  for (auto& si : s) si = rng.uniform(0.2, 3.0);
+  const Polynomial scaled = p.scale_vars(s);
+  for (int t = 0; t < 4; ++t) {
+    const Vec x(rng.uniform_vector(n, -1.0, 1.0));
+    Vec sx = x;
+    for (std::size_t i = 0; i < n; ++i) sx[i] = s[i] * x[i];
+    EXPECT_NEAR(scaled.evaluate(x), p.evaluate(sx),
+                1e-8 * std::max(1.0, std::fabs(p.evaluate(sx))));
+  }
+}
+
+TEST_P(ComposeEvaluate, ClosedLoopMatchesPointwise) {
+  Rng rng(4000 + GetParam());
+  const std::size_t n = 2;  // states
+  const std::size_t m = 1 + rng.index(2);  // controls
+  // Open-loop field over (x, u).
+  std::vector<Polynomial> open_field;
+  for (std::size_t i = 0; i < n; ++i)
+    open_field.push_back(random_poly(n + m, 2, rng));
+  // Controller polynomials over x only.
+  std::vector<Polynomial> controller;
+  for (std::size_t k = 0; k < m; ++k)
+    controller.push_back(random_poly(n, 1 + rng.index(2), rng));
+
+  const auto closed = close_loop(open_field, n, controller);
+  ASSERT_EQ(closed.size(), n);
+  for (int t = 0; t < 4; ++t) {
+    const Vec x(rng.uniform_vector(n, -1.0, 1.0));
+    Vec xu(n + m);
+    for (std::size_t i = 0; i < n; ++i) xu[i] = x[i];
+    for (std::size_t k = 0; k < m; ++k)
+      xu[n + k] = controller[k].evaluate(x);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double expect = open_field[i].evaluate(xu);
+      EXPECT_NEAR(closed[i].evaluate(x), expect,
+                  1e-7 * std::max(1.0, std::fabs(expect)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ComposeEvaluate, ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace scs
