@@ -1,0 +1,175 @@
+// Artifact-store benchmark: cold vs warm end-to-end synthesize on C1 (the
+// warm run resumes every stage from the content-addressed store) plus raw
+// serialization throughput for the largest payload types (Mlp, PacResult).
+// Results are printed and written to BENCH_store.json.
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "store/serialize.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace scs {
+namespace {
+
+bool controllers_identical(const std::vector<Polynomial>& a,
+                           const std::vector<Polynomial>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::ostringstream sa, sb;
+    sa << a[i].to_string(17);
+    sb << b[i].to_string(17);
+    if (sa.str() != sb.str()) return false;
+  }
+  return true;
+}
+
+struct ThroughputResult {
+  std::string name;
+  std::uint64_t bytes = 0;
+  double write_mb_s = 0.0;
+  double read_mb_s = 0.0;
+};
+
+template <typename Write, typename Read>
+ThroughputResult measure_throughput(const std::string& name, int reps,
+                                    const Write& write, const Read& read) {
+  ThroughputResult r;
+  r.name = name;
+  Stopwatch wsw;
+  std::vector<unsigned char> bytes;
+  for (int i = 0; i < reps; ++i) {
+    BinaryWriter w;
+    write(w);
+    bytes = w.take();
+  }
+  const double write_s = wsw.seconds();
+  r.bytes = bytes.size();
+  Stopwatch rsw;
+  for (int i = 0; i < reps; ++i) {
+    BinaryReader rd(bytes);
+    read(rd);
+  }
+  const double read_s = rsw.seconds();
+  const double total_mb =
+      static_cast<double>(bytes.size()) * reps / (1024.0 * 1024.0);
+  r.write_mb_s = write_s > 0.0 ? total_mb / write_s : 0.0;
+  r.read_mb_s = read_s > 0.0 ? total_mb / read_s : 0.0;
+  return r;
+}
+
+}  // namespace
+}  // namespace scs
+
+int main() {
+  using namespace scs;
+  namespace fs = std::filesystem;
+
+  const fs::path cache_dir =
+      fs::temp_directory_path() / "scs_bench_store_cache";
+  std::error_code ec;
+  fs::remove_all(cache_dir, ec);  // start cold
+
+  PipelineConfig config;
+  config.seed = 2024;
+  config.fast_mode = true;  // keep the RL budget bench-sized
+  config.store.mode = StoreConfig::Mode::kOn;
+  config.store.cache_dir = cache_dir.string();
+  const Benchmark bench = make_benchmark(BenchmarkId::kC1);
+
+  std::cout << "=== Artifact store benchmark (C1, cache at " << cache_dir
+            << ") ===\n";
+  Stopwatch cold_sw;
+  const SynthesisResult cold = synthesize(bench, config);
+  const double cold_s = cold_sw.seconds();
+  Stopwatch warm_sw;
+  const SynthesisResult warm = synthesize(bench, config);
+  const double warm_s = warm_sw.seconds();
+
+  const bool rl_warm_hit = warm.cache.rl.hits == 1;
+  const bool identical = cold.verdict == warm.verdict &&
+                         controllers_identical(cold.controller,
+                                               warm.controller);
+  const double speedup = warm_s > 0.0 ? cold_s / warm_s : 0.0;
+  std::cout << "  cold synthesize: " << cold_s << " s (verdict "
+            << cold.verdict << ")\n"
+            << "  warm synthesize: " << warm_s << " s (verdict "
+            << warm.verdict << "), speedup " << speedup << "x\n"
+            << "  warm rl stage from cache: " << (rl_warm_hit ? "yes" : "NO")
+            << ", results identical: " << (identical ? "yes" : "NO") << "\n"
+            << "  warm cache stats: " << cache_stats_json(warm.cache) << "\n";
+
+  // Serialization throughput on bench-realistic payloads.
+  Rng rng(7);
+  const Mlp big_actor(6, {128, 128, 64}, 3, Activation::kTanh,
+                      Activation::kTanh, rng);
+  const ThroughputResult mlp_tp = measure_throughput(
+      "mlp_128x128x64", 200,
+      [&](BinaryWriter& w) { write_mlp(w, big_actor); },
+      [](BinaryReader& r) { read_mlp(r); });
+
+  PacResult pac;
+  pac.model.poly = Polynomial(4);
+  Rng prng(8);
+  for (int t = 0; t < 70; ++t) {
+    const Monomial m(std::vector<int>{static_cast<int>(prng.index(4)),
+                                      static_cast<int>(prng.index(3)),
+                                      static_cast<int>(prng.index(3)),
+                                      static_cast<int>(prng.index(2))});
+    pac.model.poly = pac.model.poly + Polynomial::term(prng.normal(), m);
+  }
+  pac.model.degree = 4;
+  pac.model.samples = 50000;
+  for (int t = 0; t < 40; ++t) {
+    PacTraceRow row;
+    row.degree = 1 + t / 10;
+    row.eta = 0.01;
+    row.eps = 0.01;
+    row.samples_used = 1000 * (t + 1);
+    row.error = 1.0 / (t + 1);
+    row.delta_e = 1e-9;
+    pac.trace.push_back(row);
+  }
+  const ThroughputResult pac_tp = measure_throughput(
+      "pac_result_70_terms", 2000,
+      [&](BinaryWriter& w) { write_pac_result(w, pac); },
+      [](BinaryReader& r) { read_pac_result(r); });
+
+  for (const ThroughputResult& t : {mlp_tp, pac_tp})
+    std::cout << "  " << t.name << ": " << t.bytes << " B/blob, write "
+              << t.write_mb_s << " MiB/s, read " << t.read_mb_s << " MiB/s\n";
+
+  std::ostringstream json;
+  json << "{\"benchmark\":\"" << bench.name << "\""
+       << ",\"cold_seconds\":" << cold_s << ",\"warm_seconds\":" << warm_s
+       << ",\"speedup\":" << speedup
+       << ",\"warm_rl_cache_hit\":" << (rl_warm_hit ? "true" : "false")
+       << ",\"results_identical\":" << (identical ? "true" : "false")
+       << ",\"warm_cache\":" << cache_stats_json(warm.cache)
+       << ",\"serialization\":[";
+  bool first = true;
+  for (const ThroughputResult& t : {mlp_tp, pac_tp}) {
+    json << (first ? "" : ",") << "{\"name\":\"" << t.name
+         << "\",\"blob_bytes\":" << t.bytes
+         << ",\"write_mb_s\":" << t.write_mb_s
+         << ",\"read_mb_s\":" << t.read_mb_s << "}";
+    first = false;
+  }
+  json << "]}";
+  std::ofstream("BENCH_store.json") << json.str() << "\n";
+  std::cout << "wrote BENCH_store.json\n";
+
+  fs::remove_all(cache_dir, ec);
+  if (!rl_warm_hit || !identical) {
+    std::cout << "ERROR: warm run did not resume from the store correctly\n";
+    return 1;
+  }
+  return 0;
+}

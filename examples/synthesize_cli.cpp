@@ -1,15 +1,24 @@
 // Command-line front end: run the pipeline on a named benchmark and persist
 // the verified artifacts (controller, barrier certificate, PAC metadata).
 //
-//   ./synthesize_cli C3 out.txt [episodes]
+//   ./synthesize_cli [options] C3 out.txt [episodes]
 //   ./synthesize_cli --load out.txt        # re-validate saved artifacts
+//
+// Options:
+//   --cache-dir <dir>   checkpoint every stage in <dir> (overrides
+//                       SCS_CACHE_DIR); a re-run with the same seed and
+//                       config resumes from the last finished stage
+//   --no-cache          disable the artifact store for this run
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "barrier/validation.hpp"
 #include "core/artifacts.hpp"
 #include "core/pipeline.hpp"
+#include "core/report.hpp"
 
 namespace {
 
@@ -38,37 +47,64 @@ int run_load(const char* path) {
   return 0;
 }
 
+void print_usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--cache-dir <dir>] [--no-cache] <C1..C10> <output-file> "
+            << "[episodes]\n       " << argv0 << " --load <file>\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace scs;
   if (argc >= 3 && std::strcmp(argv[1], "--load") == 0)
     return run_load(argv[2]);
-  if (argc < 3) {
-    std::cerr << "usage: " << argv[0] << " <C1..C10> <output-file> "
-              << "[episodes]\n       " << argv[0] << " --load <file>\n";
+
+  StoreConfig store;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--no-cache") {
+      store.mode = StoreConfig::Mode::kOff;
+    } else if (arg == "--cache-dir") {
+      if (i + 1 >= argc) {
+        std::cerr << "--cache-dir needs a directory argument\n";
+        return 2;
+      }
+      store.mode = StoreConfig::Mode::kOn;
+      store.cache_dir = argv[++i];
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() < 2) {
+    print_usage(argv[0]);
     return 2;
   }
 
-  const std::string name = argv[1];
+  const std::string& name = positional[0];
   for (const auto id : all_benchmark_ids()) {
     const Benchmark bench = make_benchmark(id);
     if (bench.name != name) continue;
 
     PipelineConfig config;
     config.seed = 2024;
-    if (argc > 3) config.rl_episodes = std::atoi(argv[3]);
+    config.store = store;
+    if (positional.size() > 2)
+      config.rl_episodes = std::atoi(positional[2].c_str());
     config.pac_fit.max_samples = 50000;
     const SynthesisResult result = synthesize(bench, config);
+    if (result.cache.enabled)
+      std::cout << "cache: " << cache_stats_json(result.cache) << "\n";
     if (!result.success) {
       std::cerr << "synthesis failed at stage '" << result.failure_stage
                 << "': " << result.barrier.failure_reason << "\n";
       return 1;
     }
     save_artifacts_file(artifacts_from(result, bench.ccds.num_states),
-                        argv[2]);
-    std::cout << "verified controller + certificate written to " << argv[2]
-              << "\n";
+                        positional[1]);
+    std::cout << "verified controller + certificate written to "
+              << positional[1] << "\n";
     return 0;
   }
   std::cerr << "unknown benchmark '" << name << "' (expected C1..C10)\n";

@@ -9,8 +9,10 @@
 #   scripts/ci.sh ubsan
 #   scripts/ci.sh fault      # Release build, fault-labeled tests only,
 #                            # with the env-driven fault injector armed
+#   scripts/ci.sh store      # store-labeled tests under asan, then the
+#                            # cold-then-warm pipeline-resume smoke
 #
-# Label shortcuts (run from any built tree): ctest -L property|fault|golden.
+# Label shortcuts (run from any built tree): ctest -L property|fault|golden|store.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -46,13 +48,32 @@ run_fault() {
       ctest -L fault --output-on-failure)
 }
 
+run_store() {
+  echo "==> Artifact-store suite under AddressSanitizer"
+  cmake --preset asan
+  cmake --build --preset asan -j "${JOBS}"
+  (cd build-asan && ctest -L store --output-on-failure)
+
+  echo "==> Cold-then-warm pipeline-resume smoke (C1 fast mode, temp cache)"
+  # bench_store runs synthesize twice against a fresh cache directory and
+  # exits nonzero unless the warm run reports an rl-stage cache hit AND
+  # returns the cold run's verdict + controller bit for bit.
+  cmake --preset default
+  cmake --build --preset default -j "${JOBS}" --target bench_store
+  local tmp
+  tmp="$(mktemp -d)"
+  (cd "${tmp}" && TMPDIR="${tmp}" "${OLDPWD}/build/bench/bench_store")
+  rm -rf "${tmp}"
+}
+
 case "${1:-all}" in
   release) run_release ;;
   asan)    run_asan ;;
   ubsan)   run_ubsan ;;
   fault)   run_fault ;;
-  all)     run_release; run_asan; run_ubsan ;;
-  *) echo "unknown configuration: $1 (want release|asan|ubsan|fault|all)" >&2
+  store)   run_store ;;
+  all)     run_release; run_asan; run_ubsan; run_store ;;
+  *) echo "unknown configuration: $1 (want release|asan|ubsan|fault|store|all)" >&2
      exit 2 ;;
 esac
 

@@ -8,6 +8,7 @@
 #include "util/check.hpp"
 #include "util/log.hpp"
 #include "util/stopwatch.hpp"
+#include "util/hash.hpp"
 
 namespace scs {
 
@@ -397,6 +398,21 @@ BarrierResult synthesize_barrier(const Ccds& system,
                                  const BarrierConfig& config) {
   return synthesize_barrier_closed(system, system.closed_loop(controller),
                                    config);
+}
+
+
+void hash_append(Fnv1a& h, const BarrierConfig& c) {
+  hash_append(h, c.degree_schedule);
+  hash_append(h, c.rho);
+  hash_append(h, c.rho_prime);
+  hash_append(h, static_cast<int>(c.lambda_strategy));
+  hash_append(h, c.lambda_attempts);
+  hash_append(h, c.bmi_rounds);
+  hash_append(h, c.seed);
+  hash_append(h, c.sdp);
+  hash_append(h, c.identity_tol);
+  hash_append(h, c.gram_tol);
+  hash_append(h, static_cast<std::uint64_t>(c.max_sdp_constraints));
 }
 
 }  // namespace scs

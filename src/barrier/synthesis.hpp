@@ -24,6 +24,8 @@
 
 namespace scs {
 
+class Fnv1a;
+
 enum class LambdaStrategy {
   kZero,         // lambda = 0
   kConstant,     // lambda = random negative constant (LMI)
@@ -49,6 +51,8 @@ struct BarrierConfig {
   /// per iteration, so m ~ 3000 is the practical single-core ceiling.
   std::size_t max_sdp_constraints = 3000;
 };
+
+void hash_append(Fnv1a& h, const BarrierConfig& c);
 
 struct BarrierResult {
   bool success = false;

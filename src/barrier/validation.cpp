@@ -10,6 +10,7 @@
 #include "poly/lie.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
+#include "util/hash.hpp"
 
 namespace scs {
 
@@ -174,6 +175,16 @@ ValidationReport validate_barrier(const Ccds& system,
      << report.safe_rollouts << "/" << report.total_rollouts;
   report.detail = os.str();
   return report;
+}
+
+
+void hash_append(Fnv1a& h, const ValidationConfig& c) {
+  hash_append(h, static_cast<std::uint64_t>(c.samples_per_set));
+  hash_append(h, c.boundary_band);
+  hash_append(h, c.tolerance);
+  hash_append(h, c.simulation_rollouts);
+  hash_append(h, c.simulation_dt);
+  hash_append(h, static_cast<std::uint64_t>(c.simulation_steps));
 }
 
 }  // namespace scs

@@ -12,6 +12,8 @@
 
 namespace scs {
 
+class Fnv1a;
+
 struct ValidationConfig {
   std::size_t samples_per_set = 4000;
   /// Relative half-width of the B ~ 0 band for condition (iii), as a
@@ -25,6 +27,8 @@ struct ValidationConfig {
   double simulation_dt = 0.01;
   std::size_t simulation_steps = 3000;
 };
+
+void hash_append(Fnv1a& h, const ValidationConfig& c);
 
 struct ValidationReport {
   bool passed = false;

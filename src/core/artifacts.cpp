@@ -38,44 +38,121 @@ void save_artifacts(const SynthesisArtifacts& a, std::ostream& os) {
      << ' ' << a.pac.eta << ' ' << a.pac.samples << "\n";
 }
 
-SynthesisArtifacts load_artifacts(std::istream& is) {
-  std::string magic;
-  int version = 0;
-  is >> magic >> version;
-  SCS_REQUIRE(magic == "scs-artifacts" && version == 1,
-              "load_artifacts: bad header");
-  SynthesisArtifacts a;
-  std::string token;
-  is >> token >> a.benchmark;
-  SCS_REQUIRE(token == "benchmark", "load_artifacts: expected 'benchmark'");
-  is >> token >> a.num_states;
-  SCS_REQUIRE(token == "states" && a.num_states > 0,
-              "load_artifacts: bad state count");
-  std::size_t m = 0;
-  is >> token >> m;
-  SCS_REQUIRE(token == "controller" && m > 0,
-              "load_artifacts: bad controller count");
-  std::string line;
-  std::getline(is, line);  // consume end of header line
-  for (std::size_t k = 0; k < m; ++k) {
-    std::getline(is, line);
-    SCS_REQUIRE(static_cast<bool>(is), "load_artifacts: truncated controller");
-    a.controller.push_back(parse_polynomial(line, a.num_states));
+ArtifactParseError::ArtifactParseError(int line, std::string content,
+                                       const std::string& reason)
+    : std::runtime_error("load_artifacts: line " + std::to_string(line) +
+                         ": " + reason +
+                         (content.empty() ? std::string()
+                                          : " (got: \"" + content + "\")")),
+      line_(line),
+      content_(std::move(content)) {}
+
+namespace {
+
+/// Line-oriented reader that tracks the 1-based line number so every parse
+/// failure can name the exact line of a hand-edited or truncated file.
+class ArtifactLines {
+ public:
+  explicit ArtifactLines(std::istream& is) : is_(is) {}
+
+  /// Next line, or an ArtifactParseError naming what was expected there.
+  std::string next(const std::string& expected) {
+    std::string line;
+    if (!std::getline(is_, line))
+      throw ArtifactParseError(line_number_ + 1, "",
+                               "file ends where " + expected + " expected");
+    ++line_number_;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    return line;
   }
-  is >> token >> a.barrier_degree;
-  SCS_REQUIRE(token == "barrier-degree", "load_artifacts: expected degree");
-  is >> token;
-  SCS_REQUIRE(token == "barrier", "load_artifacts: expected 'barrier'");
-  std::getline(is, line);
-  a.barrier = parse_polynomial(line, a.num_states);
-  is >> token;
-  SCS_REQUIRE(token == "lambda", "load_artifacts: expected 'lambda'");
-  std::getline(is, line);
-  a.lambda = parse_polynomial(line, a.num_states);
-  is >> token >> a.pac.degree >> a.pac.error >> a.pac.eps >> a.pac.eta >>
-      a.pac.samples;
-  SCS_REQUIRE(token == "pac" && static_cast<bool>(is),
-              "load_artifacts: truncated PAC metadata");
+
+  int line_number() const { return line_number_; }
+
+ private:
+  std::istream& is_;
+  int line_number_ = 0;
+};
+
+/// Parse "<keyword> <fields...>", requiring the exact keyword, every field
+/// to convert, and no trailing junk on the line.
+template <typename... Fields>
+void parse_fields(ArtifactLines& lines, const std::string& keyword,
+                  Fields&... fields) {
+  const std::string line = lines.next("'" + keyword + " ...'");
+  std::istringstream is(line);
+  std::string token;
+  if (!(is >> token) || token != keyword)
+    throw ArtifactParseError(lines.line_number(), line,
+                             "expected keyword '" + keyword + "'");
+  if (!(is >> ... >> fields))
+    throw ArtifactParseError(
+        lines.line_number(), line,
+        "malformed value(s) after '" + keyword + "' (expected " +
+            std::to_string(sizeof...(Fields)) + " field(s))");
+  std::string extra;
+  if (is >> extra)
+    throw ArtifactParseError(lines.line_number(), line,
+                             "trailing junk after '" + keyword + "' fields");
+}
+
+Polynomial parse_polynomial_line(ArtifactLines& lines, const std::string& what,
+                                 const std::string& line,
+                                 std::size_t num_states) {
+  try {
+    return parse_polynomial(line, num_states);
+  } catch (const std::exception& e) {
+    throw ArtifactParseError(lines.line_number(), line,
+                             "unparsable " + what + " polynomial: " +
+                                 e.what());
+  }
+}
+
+}  // namespace
+
+SynthesisArtifacts load_artifacts(std::istream& is) {
+  ArtifactLines lines(is);
+  int version = 0;
+  parse_fields(lines, "scs-artifacts", version);
+  if (version != 1)
+    throw ArtifactParseError(lines.line_number(), std::to_string(version),
+                             "unsupported format version (expected 1)");
+  SynthesisArtifacts a;
+  parse_fields(lines, "benchmark", a.benchmark);
+  parse_fields(lines, "states", a.num_states);
+  if (a.num_states == 0)
+    throw ArtifactParseError(lines.line_number(), "",
+                             "state count must be positive");
+  std::size_t m = 0;
+  parse_fields(lines, "controller", m);
+  if (m == 0 || m > 1000)
+    throw ArtifactParseError(lines.line_number(), std::to_string(m),
+                             "implausible controller channel count");
+  for (std::size_t k = 0; k < m; ++k) {
+    const std::string line =
+        lines.next("controller polynomial " + std::to_string(k + 1) + " of " +
+                   std::to_string(m));
+    a.controller.push_back(
+        parse_polynomial_line(lines, "controller", line, a.num_states));
+  }
+  parse_fields(lines, "barrier-degree", a.barrier_degree);
+  {
+    std::string line = lines.next("'barrier <polynomial>'");
+    if (line.rfind("barrier ", 0) != 0)
+      throw ArtifactParseError(lines.line_number(), line,
+                               "expected keyword 'barrier'");
+    a.barrier = parse_polynomial_line(lines, "barrier", line.substr(8),
+                                      a.num_states);
+  }
+  {
+    std::string line = lines.next("'lambda <polynomial>'");
+    if (line.rfind("lambda ", 0) != 0)
+      throw ArtifactParseError(lines.line_number(), line,
+                               "expected keyword 'lambda'");
+    a.lambda =
+        parse_polynomial_line(lines, "lambda", line.substr(7), a.num_states);
+  }
+  parse_fields(lines, "pac", a.pac.degree, a.pac.error, a.pac.eps, a.pac.eta,
+               a.pac.samples);
   return a;
 }
 

@@ -15,11 +15,27 @@
 #pragma once
 
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 
 #include "core/pipeline.hpp"
 
 namespace scs {
+
+/// Structured parse failure from load_artifacts: carries the 1-based line
+/// number and the offending line so callers (and test assertions) can point
+/// at the exact spot in a hand-edited or truncated artifact file.
+class ArtifactParseError : public std::runtime_error {
+ public:
+  ArtifactParseError(int line, std::string content, const std::string& reason);
+
+  int line() const { return line_; }
+  const std::string& content() const { return content_; }
+
+ private:
+  int line_;
+  std::string content_;
+};
 
 /// The persistent subset of a SynthesisResult.
 struct SynthesisArtifacts {

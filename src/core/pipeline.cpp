@@ -30,7 +30,9 @@ void apply_fast_mode(PipelineConfig& cfg, int& episodes, PacSettings& pac) {
 SynthesisResult run_stages_2_to_4_impl(const Benchmark& benchmark,
                                        const ControlLaw& law,
                                        PipelineConfig config,
-                                       SynthesisResult result) {
+                                       SynthesisResult result,
+                                       StageCache* cache,
+                                       std::uint64_t upstream_key) {
   Rng rng(config.seed + 1000);
   const Ccds& sys = benchmark.ccds;
   PacSettings pac_settings = benchmark.pac;
@@ -38,6 +40,7 @@ SynthesisResult run_stages_2_to_4_impl(const Benchmark& benchmark,
     int dummy_episodes = 0;
     apply_fast_mode(config, dummy_episodes, pac_settings);
   }
+  const bool cached = cache != nullptr && cache->enabled();
 
   // ---- Stage 2: PAC polynomial approximation (Algorithm 1).
   // The approximation target is the *normalized* DNN output in [-1, 1]^m --
@@ -46,25 +49,45 @@ SynthesisResult run_stages_2_to_4_impl(const Benchmark& benchmark,
   // physical controller is bound * p(x).
   Stopwatch pac_sw;
   const double bound = sys.control_bound;
-  const auto vec_fn = [&law, bound](const Vec& x) {
-    Vec u = law(x);
-    u /= bound;
-    return u;
-  };
-  PacVectorResult pac_vec = pac_approximate_vector(
-      vec_fn, sys.num_controls, sys.domain, pac_settings, rng,
-      config.pac_fit);
-  result.pac = pac_vec.per_channel.front();
-  for (const auto& m : pac_vec.models) {
-    result.controller.push_back(m.poly * bound);
-    result.pac_degraded = result.pac_degraded || !m.pac_valid;
+  std::uint64_t pac_key = 0;
+  bool pac_warm = false;
+  if (cached) {
+    pac_key = pac_stage_key(upstream_key, config.seed, pac_settings,
+                            config.pac_fit, bound, sys.num_controls);
+    if (auto hit = cache->load_pac(pac_key, result.cache.pac)) {
+      result.pac = std::move(hit->pac);
+      result.controller = std::move(hit->controller);
+      result.pac_degraded = hit->degraded;
+      pac_warm = true;
+      log_info("pipeline[", benchmark.name, "]: PAC stage from cache");
+    }
+  }
+  if (!pac_warm) {
+    const auto vec_fn = [&law, bound](const Vec& x) {
+      Vec u = law(x);
+      u /= bound;
+      return u;
+    };
+    PacVectorResult pac_vec = pac_approximate_vector(
+        vec_fn, sys.num_controls, sys.domain, pac_settings, rng,
+        config.pac_fit);
+    result.pac = pac_vec.per_channel.front();
+    for (const auto& m : pac_vec.models) {
+      result.controller.push_back(m.poly * bound);
+      result.pac_degraded = result.pac_degraded || !m.pac_valid;
+    }
+    if (!pac_vec.success) {
+      // Algorithm 1 failed to reach tau; proceed with the best model anyway
+      // (verification decides), but record the stage as degraded.
+      log_info(
+          "pipeline: PAC stage did not reach tau; continuing with best fit");
+    }
+    if (cached)
+      cache->store_pac(pac_key, benchmark.name,
+                       {result.pac, result.controller, result.pac_degraded},
+                       result.cache.pac);
   }
   result.pac_seconds = pac_sw.seconds();
-  if (!pac_vec.success) {
-    // Algorithm 1 failed to reach tau; proceed with the best model anyway
-    // (verification decides), but record the stage as degraded.
-    log_info("pipeline: PAC stage did not reach tau; continuing with best fit");
-  }
   if (result.pac_degraded) {
     log_info("pipeline[", benchmark.name,
              "]: PAC guarantee withdrawn (least-squares fallback in use); "
@@ -81,41 +104,62 @@ SynthesisResult run_stages_2_to_4_impl(const Benchmark& benchmark,
   if (barrier_cfg.degree_schedule.empty())
     barrier_cfg.degree_schedule = benchmark.barrier_degrees;
   barrier_cfg.seed = config.seed + 2000;
-  result.barrier = synthesize_barrier(sys, result.controller, barrier_cfg);
-  if (!result.barrier.success && sys.num_controls == 1) {
-    for (auto it = result.pac.per_degree.rbegin();
-         it != result.pac.per_degree.rend() && !result.barrier.success;
-         ++it) {
-      if (it->degree == result.pac.model.degree) continue;  // already tried
-      const std::vector<Polynomial> candidate = {it->poly * bound};
-      BarrierResult retry =
-          synthesize_barrier(sys, candidate, barrier_cfg);
-      if (retry.success) {
-        log_info("pipeline: degree-", it->degree,
-                 " surrogate verified after the primary failed");
-        result.controller = candidate;
-        result.pac.model = *it;
-        result.barrier = std::move(retry);
-      }
+  std::uint64_t barrier_key = 0;
+  bool barrier_warm = false;
+  if (cached) {
+    barrier_key = barrier_stage_key(pac_key, barrier_cfg);
+    if (auto hit = cache->load_barrier(barrier_key, result.cache.barrier)) {
+      // The barrier stage may have swapped in a lower-degree surrogate, so
+      // the cached entry carries the accepted controller and PAC model too.
+      result.barrier = std::move(hit->barrier);
+      result.controller = std::move(hit->controller);
+      result.pac.model = std::move(hit->pac_model);
+      barrier_warm = true;
+      log_info("pipeline[", benchmark.name, "]: barrier stage from cache");
     }
   }
-  if (!result.barrier.success &&
-      barrier_cfg.lambda_strategy != LambdaStrategy::kAlternating) {
-    // Last rung of the barrier-stage ladder: the paper's alternating (BMI)
-    // schedule searches over lambda as well, which regularly rescues
-    // instances where every fixed-lambda SOS program stalls or is rejected.
-    log_info("pipeline[", benchmark.name,
-             "]: fixed-lambda SOS failed; retrying with the alternating "
-             "schedule before reporting UNVERIFIED");
-    BarrierConfig alt_cfg = barrier_cfg;
-    alt_cfg.lambda_strategy = LambdaStrategy::kAlternating;
-    BarrierResult alt = synthesize_barrier(sys, result.controller, alt_cfg);
-    alt.attempts += result.barrier.attempts;
-    if (alt.success) {
-      log_info("pipeline[", benchmark.name,
-               "]: alternating schedule recovered a certificate");
-      result.barrier = std::move(alt);
+  if (!barrier_warm) {
+    result.barrier = synthesize_barrier(sys, result.controller, barrier_cfg);
+    if (!result.barrier.success && sys.num_controls == 1) {
+      for (auto it = result.pac.per_degree.rbegin();
+           it != result.pac.per_degree.rend() && !result.barrier.success;
+           ++it) {
+        if (it->degree == result.pac.model.degree) continue;  // already tried
+        const std::vector<Polynomial> candidate = {it->poly * bound};
+        BarrierResult retry =
+            synthesize_barrier(sys, candidate, barrier_cfg);
+        if (retry.success) {
+          log_info("pipeline: degree-", it->degree,
+                   " surrogate verified after the primary failed");
+          result.controller = candidate;
+          result.pac.model = *it;
+          result.barrier = std::move(retry);
+        }
+      }
     }
+    if (!result.barrier.success &&
+        barrier_cfg.lambda_strategy != LambdaStrategy::kAlternating) {
+      // Last rung of the barrier-stage ladder: the paper's alternating (BMI)
+      // schedule searches over lambda as well, which regularly rescues
+      // instances where every fixed-lambda SOS program stalls or is rejected.
+      log_info("pipeline[", benchmark.name,
+               "]: fixed-lambda SOS failed; retrying with the alternating "
+               "schedule before reporting UNVERIFIED");
+      BarrierConfig alt_cfg = barrier_cfg;
+      alt_cfg.lambda_strategy = LambdaStrategy::kAlternating;
+      BarrierResult alt = synthesize_barrier(sys, result.controller, alt_cfg);
+      alt.attempts += result.barrier.attempts;
+      if (alt.success) {
+        log_info("pipeline[", benchmark.name,
+                 "]: alternating schedule recovered a certificate");
+        result.barrier = std::move(alt);
+      }
+    }
+    if (cached)
+      cache->store_barrier(
+          barrier_key, benchmark.name,
+          {result.barrier, result.controller, result.pac.model},
+          result.cache.barrier);
   }
   result.barrier_seconds = barrier_sw.seconds();
   if (!result.barrier.success) {
@@ -128,10 +172,27 @@ SynthesisResult run_stages_2_to_4_impl(const Benchmark& benchmark,
 
   // ---- Stage 4: independent validation.
   Stopwatch validation_sw;
-  Rng vrng(config.seed + 3000);
-  result.validation = validate_barrier(sys, result.controller,
-                                       result.barrier.barrier,
-                                       config.validation, vrng);
+  std::uint64_t validation_key = 0;
+  bool validation_warm = false;
+  if (cached) {
+    validation_key =
+        validation_stage_key(barrier_key, config.seed, config.validation);
+    if (auto hit =
+            cache->load_validation(validation_key, result.cache.validation)) {
+      result.validation = std::move(hit->report);
+      validation_warm = true;
+      log_info("pipeline[", benchmark.name, "]: validation stage from cache");
+    }
+  }
+  if (!validation_warm) {
+    Rng vrng(config.seed + 3000);
+    result.validation = validate_barrier(sys, result.controller,
+                                         result.barrier.barrier,
+                                         config.validation, vrng);
+    if (cached)
+      cache->store_validation(validation_key, benchmark.name,
+                              {result.validation}, result.cache.validation);
+  }
   result.validation_seconds = validation_sw.seconds();
   if (!result.validation.passed) {
     result.failure_stage = "validation";
@@ -150,11 +211,14 @@ SynthesisResult run_stages_2_to_4_impl(const Benchmark& benchmark,
 SynthesisResult run_stages_2_to_4(const Benchmark& benchmark,
                                   const ControlLaw& law,
                                   PipelineConfig config,
-                                  SynthesisResult result) {
+                                  SynthesisResult result,
+                                  StageCache* cache = nullptr,
+                                  std::uint64_t upstream_key = 0) {
   try {
     // Pass a copy so a throwing stage leaves the caller-visible fields
     // (benchmark name, RL telemetry) intact for the failure report.
-    result = run_stages_2_to_4_impl(benchmark, law, std::move(config), result);
+    result = run_stages_2_to_4_impl(benchmark, law, std::move(config), result,
+                                    cache, upstream_key);
   } catch (const std::exception& e) {
     log_info("pipeline[", benchmark.name, "]: stage threw (", e.what(),
              "); reporting UNVERIFIED");
@@ -184,21 +248,53 @@ SynthesisResult synthesize(const Benchmark& benchmark,
   cfg.ddpg.actor_hidden = benchmark.hidden_layers;
   if (cfg.fast_mode) apply_fast_mode(cfg, episodes, pac_settings);
 
-  // ---- Stage 1: DDPG training of the auxiliary DNN controller.
+  // ---- Stage 1: DDPG training of the auxiliary DNN controller, unless the
+  // artifact store already holds the trained actor for this exact
+  // (benchmark content, config slice, seed, format version) key.
+  StageCache cache(cfg.store);
+  result.cache.enabled = cache.enabled();
+  std::uint64_t rl_key = 0;
+  if (cache.enabled())
+    rl_key = rl_stage_key(benchmark, cfg.seed, cfg.ddpg, cfg.env, episodes,
+                          cfg.eval_episodes);
+
   Stopwatch rl_sw;
   Rng rng(cfg.seed);
   try {
-    ControlEnv env(sys, cfg.env);
-    DdpgAgent agent(sys.num_states, sys.num_controls, cfg.ddpg, rng);
-    result.dnn_structure = agent.actor().structure_string();
-    agent.train(env, episodes, rng);
-    result.rl_eval = agent.evaluate(env, cfg.eval_episodes, rng);
-    result.rl_seconds = rl_sw.seconds();
-    log_info("pipeline[", benchmark.name, "]: RL done in ", result.rl_seconds,
-             "s, eval safety rate ", result.rl_eval.safety_rate);
+    ControlLaw law;
+    bool rl_warm = false;
+    if (cache.enabled()) {
+      if (auto hit = cache.load_rl(rl_key, result.cache.rl)) {
+        result.dnn_structure = hit->dnn_structure;
+        result.rl_eval = hit->eval;
+        law = control_law_from_actor(hit->actor, sys.control_bound);
+        rl_warm = true;
+        result.rl_seconds = rl_sw.seconds();
+        log_info("pipeline[", benchmark.name,
+                 "]: RL stage from cache (actor ", result.dnn_structure,
+                 ", ", result.rl_seconds, "s)");
+      }
+    }
+    if (!rl_warm) {
+      ControlEnv env(sys, cfg.env);
+      DdpgAgent agent(sys.num_states, sys.num_controls, cfg.ddpg, rng);
+      result.dnn_structure = agent.actor().structure_string();
+      agent.train(env, episodes, rng);
+      result.rl_eval = agent.evaluate(env, cfg.eval_episodes, rng);
+      result.rl_seconds = rl_sw.seconds();
+      log_info("pipeline[", benchmark.name, "]: RL done in ",
+               result.rl_seconds, "s, eval safety rate ",
+               result.rl_eval.safety_rate);
+      law = agent.control_law(sys.control_bound);
+      if (cache.enabled())
+        cache.store_rl(
+            rl_key, benchmark.name,
+            {agent.actor(), result.dnn_structure, result.rl_eval},
+            result.cache.rl);
+    }
 
-    result = run_stages_2_to_4(benchmark, agent.control_law(sys.control_bound),
-                               cfg, std::move(result));
+    result = run_stages_2_to_4(benchmark, law, cfg, std::move(result),
+                               cache.enabled() ? &cache : nullptr, rl_key);
   } catch (const std::exception& e) {
     log_info("pipeline[", benchmark.name, "]: RL stage threw (", e.what(),
              "); reporting UNVERIFIED");

@@ -17,6 +17,7 @@
 #include "barrier/validation.hpp"
 #include "pac/pac_fit.hpp"
 #include "rl/ddpg.hpp"
+#include "store/stage_cache.hpp"
 #include "systems/benchmarks.hpp"
 
 namespace scs {
@@ -42,6 +43,13 @@ struct PipelineConfig {
 
   /// Shrink every budget for unit tests (small K, few episodes).
   bool fast_mode = false;
+
+  /// Stage checkpointing through the content-addressed artifact store
+  /// (src/store). Default kAuto: enabled iff SCS_CACHE_DIR is set and
+  /// SCS_CACHE != "off". A warm re-run of an already-cached benchmark skips
+  /// RL (and any other cached stage) and reproduces the cold run's
+  /// controller/barrier/verdict bit-for-bit.
+  StoreConfig store;
 };
 
 struct SynthesisResult {
@@ -78,6 +86,10 @@ struct SynthesisResult {
 
   /// Wall-clock for the whole pipeline run on this benchmark.
   double total_seconds = 0.0;
+
+  /// Per-stage artifact-store telemetry (hits/misses/corrupt/load times);
+  /// cache.enabled is false when the store is off for this run.
+  CacheStats cache;
 };
 
 /// Run the full pipeline on one benchmark.

@@ -95,7 +95,35 @@ std::string stage_timings_json(const SynthesisResult& result) {
      << ",\"barrier_seconds\":" << fmt_double(result.barrier_seconds, 6)
      << ",\"validation_seconds\":" << fmt_double(result.validation_seconds, 6)
      << ",\"total_seconds\":" << fmt_double(result.total_seconds, 6)
-     << ",\"threads\":" << parallel_threads() << "}";
+     << ",\"threads\":" << parallel_threads();
+  if (result.cache.enabled)
+    os << ",\"cache\":" << cache_stats_json(result.cache);
+  os << "}";
+  return os.str();
+}
+
+namespace {
+void append_stage_counters(std::ostringstream& os, const char* stage,
+                           const StageCounters& c) {
+  os << "\"" << stage << "\":{\"hits\":" << c.hits
+     << ",\"misses\":" << c.misses << ",\"stores\":" << c.stores
+     << ",\"corrupt\":" << c.corrupt
+     << ",\"load_seconds\":" << fmt_double(c.load_seconds, 6)
+     << ",\"store_seconds\":" << fmt_double(c.store_seconds, 6) << "}";
+}
+}  // namespace
+
+std::string cache_stats_json(const CacheStats& stats) {
+  std::ostringstream os;
+  os << "{\"enabled\":" << (stats.enabled ? "true" : "false") << ",";
+  append_stage_counters(os, "rl", stats.rl);
+  os << ",";
+  append_stage_counters(os, "pac", stats.pac);
+  os << ",";
+  append_stage_counters(os, "barrier", stats.barrier);
+  os << ",";
+  append_stage_counters(os, "validation", stats.validation);
+  os << "}";
   return os.str();
 }
 

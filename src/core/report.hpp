@@ -25,7 +25,13 @@ std::string table2_row(const Benchmark& benchmark,
 /// Per-stage wall-clock attribution for one pipeline run as a single JSON
 /// object: benchmark name, rl/pac/barrier/validation/total seconds, and the
 /// thread count the run executed with (so BENCH_*.json timings can be
-/// attributed to a parallel configuration).
+/// attributed to a parallel configuration). When the artifact store was
+/// enabled for the run, a "cache" sub-object (see cache_stats_json) is
+/// appended so warm timings are attributable to cache hits.
 std::string stage_timings_json(const SynthesisResult& result);
+
+/// Artifact-store telemetry for one run as a JSON object: enabled flag plus
+/// per-stage {hits, misses, stores, corrupt, load_seconds, store_seconds}.
+std::string cache_stats_json(const CacheStats& stats);
 
 }  // namespace scs

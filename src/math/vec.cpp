@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/check.hpp"
+#include "util/hash.hpp"
 
 namespace scs {
 
@@ -119,6 +120,11 @@ double max_abs_diff(const Vec& a, const Vec& b) {
   for (std::size_t i = 0; i < a.size(); ++i)
     m = std::max(m, std::fabs(a[i] - b[i]));
   return m;
+}
+
+void hash_append(Fnv1a& h, const Vec& v) {
+  hash_append(h, static_cast<std::uint64_t>(v.size()));
+  for (std::size_t i = 0; i < v.size(); ++i) hash_append(h, v[i]);
 }
 
 }  // namespace scs

@@ -12,6 +12,8 @@
 
 namespace scs {
 
+class Fnv1a;
+
 class Vec {
  public:
   Vec() = default;
@@ -79,5 +81,8 @@ Vec concat(const Vec& a, const Vec& b);
 
 /// Maximum absolute difference between two equally sized vectors.
 double max_abs_diff(const Vec& a, const Vec& b);
+
+/// Fold a vector into a cache-key digest (size, then raw IEEE-754 bits).
+void hash_append(Fnv1a& h, const Vec& v);
 
 }  // namespace scs

@@ -11,6 +11,7 @@
 #include "util/log.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
+#include "util/hash.hpp"
 
 namespace scs {
 
@@ -583,6 +584,20 @@ SdpSolution solve_sdp(const SdpProblem& problem, const SdpOptions& options) {
     if (merit_of(next) < merit_of(best)) best = next;
   }
   return best;
+}
+
+
+void hash_append(Fnv1a& h, const SdpOptions& o) {
+  hash_append(h, o.max_iterations);
+  hash_append(h, o.tol_feasibility);
+  hash_append(h, o.tol_gap);
+  hash_append(h, o.step_fraction);
+  hash_append(h, o.initial_scale);
+  hash_append(h, o.stall_window);
+  hash_append(h, o.stall_improvement);
+  hash_append(h, o.max_retries);
+  hash_append(h, o.retry_scale_factor);
+  hash_append(h, o.wall_clock_budget);
 }
 
 }  // namespace scs

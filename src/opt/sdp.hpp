@@ -23,6 +23,8 @@
 
 namespace scs {
 
+class Fnv1a;
+
 /// One entry of a symmetric constraint matrix: A(row,col) = A(col,row) =
 /// value (specify each unordered pair once; row <= col recommended).
 struct SdpEntry {
@@ -99,5 +101,7 @@ struct SdpOptions {
 };
 
 SdpSolution solve_sdp(const SdpProblem& problem, const SdpOptions& options = {});
+
+void hash_append(Fnv1a& h, const SdpOptions& o);
 
 }  // namespace scs

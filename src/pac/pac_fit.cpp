@@ -12,6 +12,7 @@
 #include "util/log.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
+#include "util/hash.hpp"
 
 namespace scs {
 
@@ -312,6 +313,12 @@ double empirical_violation_rate(const PacModel& model, const ScalarFn& fn,
       },
       [](std::size_t a, std::size_t b) { return a + b; });
   return static_cast<double>(violations) / static_cast<double>(samples);
+}
+
+
+void hash_append(Fnv1a& h, const PacFitOptions& o) {
+  hash_append(h, o.max_samples);
+  hash_append(h, o.max_design_bytes);
 }
 
 }  // namespace scs

@@ -18,6 +18,8 @@
 
 namespace scs {
 
+class Fnv1a;
+
 /// Scalar function to approximate (one control channel).
 using ScalarFn = std::function<double(const Vec&)>;
 
@@ -81,6 +83,8 @@ struct PacFitOptions {
   /// gigabytes). eps is recomputed as above.
   std::uint64_t max_design_bytes = std::uint64_t{2} << 30;  // 2 GiB
 };
+
+void hash_append(Fnv1a& h, const PacFitOptions& o);
 
 /// Run Algorithm 1 for one scalar control channel.
 PacResult pac_approximate(const ScalarFn& fn, const SemialgebraicSet& domain,

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/check.hpp"
+#include "util/hash.hpp"
 
 namespace scs {
 
@@ -82,6 +83,11 @@ double pow_int(double base, int exp) {
     e >>= 1;
   }
   return acc;
+}
+
+
+void hash_append(Fnv1a& h, const Monomial& m) {
+  hash_append(h, m.exponents());
 }
 
 }  // namespace scs

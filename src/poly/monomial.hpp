@@ -10,6 +10,8 @@
 
 namespace scs {
 
+class Fnv1a;
+
 /// A monomial x1^a1 ... xn^an, represented by its exponent vector.
 class Monomial {
  public:
@@ -56,5 +58,8 @@ struct GrlexLess {
 
 /// Integer power (exponents in this project are small non-negative ints).
 double pow_int(double base, int exp);
+
+/// Fold a monomial into a cache-key digest.
+void hash_append(Fnv1a& h, const Monomial& m);
 
 }  // namespace scs

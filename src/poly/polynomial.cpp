@@ -5,6 +5,7 @@
 
 #include "poly/basis.hpp"
 #include "util/check.hpp"
+#include "util/hash.hpp"
 
 namespace scs {
 
@@ -287,6 +288,16 @@ double max_coefficient_diff(const Polynomial& a, const Polynomial& b) {
               "max_coefficient_diff: variable count mismatch");
   const Polynomial d = a - b;
   return d.max_abs_coefficient();
+}
+
+
+void hash_append(Fnv1a& h, const Polynomial& p) {
+  hash_append(h, static_cast<std::uint64_t>(p.num_vars()));
+  hash_append(h, static_cast<std::uint64_t>(p.term_count()));
+  for (const auto& [mono, coeff] : p.terms()) {
+    hash_append(h, mono);
+    hash_append(h, coeff);
+  }
 }
 
 }  // namespace scs

@@ -109,4 +109,8 @@ Polynomial operator*(double s, const Polynomial& p);
 /// Maximum absolute coefficient difference (polynomials over the same vars).
 double max_coefficient_diff(const Polynomial& a, const Polynomial& b);
 
+/// Fold a polynomial (variable count, terms, raw coefficient bits) into a
+/// cache-key digest; GrlexLess iteration order makes the digest canonical.
+void hash_append(Fnv1a& h, const Polynomial& p);
+
 }  // namespace scs

@@ -5,6 +5,7 @@
 
 #include "util/check.hpp"
 #include "util/log.hpp"
+#include "util/hash.hpp"
 
 namespace scs {
 
@@ -194,12 +195,37 @@ EvalResult DdpgAgent::evaluate(ControlEnv& env, int episodes, Rng& rng) const {
   return out;
 }
 
-ControlLaw DdpgAgent::control_law(double control_bound) const {
-  const Mlp actor_copy = actor_;
+ControlLaw control_law_from_actor(const Mlp& actor, double control_bound) {
+  const Mlp actor_copy = actor;
   return [actor_copy, control_bound](const Vec& x) {
     Vec a = actor_copy.forward(x);
     return a * control_bound;
   };
+}
+
+ControlLaw DdpgAgent::control_law(double control_bound) const {
+  return control_law_from_actor(actor_, control_bound);
+}
+
+
+void hash_append(Fnv1a& h, const DdpgConfig& c) {
+  hash_append(h, c.actor_hidden);
+  hash_append(h, c.critic_hidden);
+  hash_append(h, static_cast<int>(c.actor_hidden_activation));
+  hash_append(h, c.actor_lr);
+  hash_append(h, c.critic_lr);
+  hash_append(h, c.actor_weight_decay);
+  hash_append(h, c.actor_weight_norm_cap);
+  hash_append(h, c.gamma);
+  hash_append(h, c.soft_tau);
+  hash_append(h, static_cast<std::uint64_t>(c.batch_size));
+  hash_append(h, static_cast<std::uint64_t>(c.buffer_capacity));
+  hash_append(h, static_cast<std::uint64_t>(c.warmup_steps));
+  hash_append(h, c.updates_per_step);
+  hash_append(h, c.noise_sigma);
+  hash_append(h, c.noise_theta);
+  hash_append(h, c.noise_decay_per_episode);
+  hash_append(h, c.noise_sigma_min);
 }
 
 }  // namespace scs

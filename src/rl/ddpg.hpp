@@ -19,6 +19,8 @@
 
 namespace scs {
 
+class Fnv1a;
+
 struct DdpgConfig {
   std::vector<std::size_t> actor_hidden = {30, 30, 30, 30, 30};
   std::vector<std::size_t> critic_hidden = {64, 64};
@@ -48,6 +50,14 @@ struct DdpgConfig {
   double noise_decay_per_episode = 0.995;
   double noise_sigma_min = 0.02;
 };
+
+void hash_append(Fnv1a& h, const DdpgConfig& c);
+
+/// The physical control law induced by a stand-alone actor network --
+/// exactly what DdpgAgent::control_law returns, but buildable from an actor
+/// deserialized out of the artifact store (warm pipeline runs skip training
+/// and reconstruct the law from the cached weights).
+ControlLaw control_law_from_actor(const Mlp& actor, double control_bound);
 
 struct EpisodeStats {
   double total_reward = 0.0;

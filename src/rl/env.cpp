@@ -5,6 +5,7 @@
 
 #include "ode/integrator.hpp"
 #include "util/check.hpp"
+#include "util/hash.hpp"
 
 namespace scs {
 
@@ -99,6 +100,21 @@ StepResult ControlEnv::step(const Vec& normalized_action) {
   out.done = steps_ >= config_.max_steps;
   state_ = out.next_state;
   return out;
+}
+
+
+void hash_append(Fnv1a& h, const EnvConfig& c) {
+  hash_append(h, c.dt);
+  hash_append(h, static_cast<std::uint64_t>(c.max_steps));
+  hash_append(h, c.beta1);
+  hash_append(h, c.beta2);
+  hash_append(h, c.belt_delta);
+  hash_append(h, c.penalty_cap);
+  hash_append(h, c.use_belt_penalty);
+  hash_append(h, c.action_penalty);
+  hash_append(h, c.restart_domain_fraction);
+  hash_append(h, c.terminal_penalty);
+  hash_append(h, c.terminate_on_violation);
 }
 
 }  // namespace scs

@@ -17,6 +17,8 @@
 
 namespace scs {
 
+class Fnv1a;
+
 struct EnvConfig {
   double dt = 0.02;
   std::size_t max_steps = 200;
@@ -45,6 +47,8 @@ struct EnvConfig {
   double terminal_penalty = 10.0;
   bool terminate_on_violation = false;
 };
+
+void hash_append(Fnv1a& h, const EnvConfig& c);
 
 struct StepResult {
   Vec next_state;

@@ -1,0 +1,271 @@
+#include "store/stage_cache.hpp"
+
+#include <cstdlib>
+
+#include "util/hash.hpp"
+#include "util/log.hpp"
+#include "util/stopwatch.hpp"
+
+namespace scs {
+
+namespace {
+
+const char* kRlKind = "rl";
+const char* kPacKind = "pac";
+const char* kBarrierKind = "barrier";
+const char* kValidationKind = "validation";
+
+/// Seed every stage key with the serialization format version and a stage
+/// tag, so a format bump orphans old blobs instead of misreading them and
+/// two stages can never collide on a key.
+Fnv1a stage_hasher(const char* stage_tag) {
+  Fnv1a h;
+  hash_append(h, static_cast<std::uint64_t>(kStoreFormatVersion));
+  hash_append(h, stage_tag);
+  return h;
+}
+
+}  // namespace
+
+std::string resolve_cache_dir(const StoreConfig& config) {
+  if (config.mode == StoreConfig::Mode::kOff) return {};
+  const char* env_off = std::getenv("SCS_CACHE");
+  if (config.mode == StoreConfig::Mode::kAuto && env_off != nullptr &&
+      std::string(env_off) == "off")
+    return {};
+  if (!config.cache_dir.empty()) return config.cache_dir;
+  const char* env_dir = std::getenv("SCS_CACHE_DIR");
+  if (env_dir != nullptr && *env_dir != '\0') return env_dir;
+  return {};
+}
+
+std::uint64_t rl_stage_key(const Benchmark& benchmark, std::uint64_t seed,
+                           const DdpgConfig& ddpg, const EnvConfig& env,
+                           int episodes, int eval_episodes) {
+  Fnv1a h = stage_hasher(kRlKind);
+  // Only what the RL stage consumes: the system content plus the resolved
+  // ddpg/env/budget arguments below. Benchmark fields that feed later
+  // stages (pac settings, barrier degrees) are keyed by those stages, so
+  // tuning them does not needlessly invalidate trained actors.
+  hash_append(h, benchmark.name);
+  hash_append(h, benchmark.ccds);
+  hash_append(h, seed);
+  hash_append(h, ddpg);
+  hash_append(h, env);
+  hash_append(h, episodes);
+  hash_append(h, eval_episodes);
+  return h.digest();
+}
+
+std::uint64_t pac_stage_key(std::uint64_t upstream_key, std::uint64_t seed,
+                            const PacSettings& settings,
+                            const PacFitOptions& options,
+                            double control_bound, std::size_t num_controls) {
+  Fnv1a h = stage_hasher(kPacKind);
+  hash_append(h, upstream_key);
+  hash_append(h, seed);
+  hash_append(h, settings);
+  hash_append(h, options);
+  hash_append(h, control_bound);
+  hash_append(h, static_cast<std::uint64_t>(num_controls));
+  return h.digest();
+}
+
+std::uint64_t barrier_stage_key(std::uint64_t upstream_key,
+                                const BarrierConfig& config) {
+  Fnv1a h = stage_hasher(kBarrierKind);
+  hash_append(h, upstream_key);
+  hash_append(h, config);  // includes the stage seed (BarrierConfig::seed)
+  return h.digest();
+}
+
+std::uint64_t validation_stage_key(std::uint64_t upstream_key,
+                                   std::uint64_t seed,
+                                   const ValidationConfig& config) {
+  Fnv1a h = stage_hasher(kValidationKind);
+  hash_append(h, upstream_key);
+  hash_append(h, seed);
+  hash_append(h, config);
+  return h.digest();
+}
+
+StageCache::StageCache(const StoreConfig& config) {
+  const std::string dir = resolve_cache_dir(config);
+  if (!dir.empty()) store_ = std::make_shared<ArtifactStore>(dir);
+}
+
+const std::string& StageCache::dir() const {
+  static const std::string empty;
+  return store_ != nullptr ? store_->root() : empty;
+}
+
+std::optional<std::vector<unsigned char>> StageCache::load_payload(
+    const char* kind, std::uint64_t key, StageCounters& c) {
+  if (store_ == nullptr) return std::nullopt;
+  Stopwatch sw;
+  try {
+    std::optional<std::vector<unsigned char>> payload = store_->get(kind, key);
+    c.load_seconds += sw.seconds();
+    if (payload.has_value())
+      ++c.hits;
+    else
+      ++c.misses;
+    return payload;
+  } catch (const StoreError& e) {
+    // Present but unreadable: count as corrupt *and* miss, recompute.
+    c.load_seconds += sw.seconds();
+    ++c.corrupt;
+    ++c.misses;
+    log_info("store: ", kind, " blob ", hash_to_hex(key),
+             " failed verification (", e.what(), "); recomputing");
+    return std::nullopt;
+  }
+}
+
+void StageCache::store_payload(const char* kind, std::uint64_t key,
+                               const std::string& benchmark,
+                               const std::vector<unsigned char>& payload,
+                               StageCounters& c) {
+  if (store_ == nullptr) return;
+  Stopwatch sw;
+  try {
+    store_->put(kind, key, benchmark, payload);
+    c.store_seconds += sw.seconds();
+    ++c.stores;
+  } catch (const StoreError& e) {
+    c.store_seconds += sw.seconds();
+    log_info("store: failed to persist ", kind, " blob ", hash_to_hex(key),
+             " (", e.what(), "); continuing uncached");
+  }
+}
+
+std::optional<RlStagePayload> StageCache::load_rl(std::uint64_t key,
+                                                  StageCounters& c) {
+  auto bytes = load_payload(kRlKind, key, c);
+  if (!bytes.has_value()) return std::nullopt;
+  try {
+    BinaryReader r(*bytes);
+    RlStagePayload payload;
+    payload.actor = read_mlp(r);
+    payload.dnn_structure = r.str();
+    payload.eval = read_eval_result(r);
+    return payload;
+  } catch (const StoreError& e) {
+    ++c.corrupt;
+    --c.hits;
+    ++c.misses;
+    log_info("store: rl payload ", hash_to_hex(key), " undecodable (",
+             e.what(), "); recomputing");
+    return std::nullopt;
+  }
+}
+
+void StageCache::store_rl(std::uint64_t key, const std::string& benchmark,
+                          const RlStagePayload& payload, StageCounters& c) {
+  if (store_ == nullptr) return;
+  BinaryWriter w;
+  write_mlp(w, payload.actor);
+  w.str(payload.dnn_structure);
+  write_eval_result(w, payload.eval);
+  store_payload(kRlKind, key, benchmark, w.bytes(), c);
+}
+
+std::optional<PacStagePayload> StageCache::load_pac(std::uint64_t key,
+                                                    StageCounters& c) {
+  auto bytes = load_payload(kPacKind, key, c);
+  if (!bytes.has_value()) return std::nullopt;
+  try {
+    BinaryReader r(*bytes);
+    PacStagePayload payload;
+    payload.pac = read_pac_result(r);
+    const std::uint64_t channels = r.u64();
+    for (std::uint64_t k = 0; k < channels; ++k)
+      payload.controller.push_back(read_polynomial(r));
+    payload.degraded = r.boolean();
+    return payload;
+  } catch (const StoreError& e) {
+    ++c.corrupt;
+    --c.hits;
+    ++c.misses;
+    log_info("store: pac payload ", hash_to_hex(key), " undecodable (",
+             e.what(), "); recomputing");
+    return std::nullopt;
+  }
+}
+
+void StageCache::store_pac(std::uint64_t key, const std::string& benchmark,
+                           const PacStagePayload& payload, StageCounters& c) {
+  if (store_ == nullptr) return;
+  BinaryWriter w;
+  write_pac_result(w, payload.pac);
+  w.u64(payload.controller.size());
+  for (const Polynomial& p : payload.controller) write_polynomial(w, p);
+  w.boolean(payload.degraded);
+  store_payload(kPacKind, key, benchmark, w.bytes(), c);
+}
+
+std::optional<BarrierStagePayload> StageCache::load_barrier(
+    std::uint64_t key, StageCounters& c) {
+  auto bytes = load_payload(kBarrierKind, key, c);
+  if (!bytes.has_value()) return std::nullopt;
+  try {
+    BinaryReader r(*bytes);
+    BarrierStagePayload payload;
+    payload.barrier = read_barrier_result(r);
+    const std::uint64_t channels = r.u64();
+    for (std::uint64_t k = 0; k < channels; ++k)
+      payload.controller.push_back(read_polynomial(r));
+    payload.pac_model = read_pac_model(r);
+    return payload;
+  } catch (const StoreError& e) {
+    ++c.corrupt;
+    --c.hits;
+    ++c.misses;
+    log_info("store: barrier payload ", hash_to_hex(key), " undecodable (",
+             e.what(), "); recomputing");
+    return std::nullopt;
+  }
+}
+
+void StageCache::store_barrier(std::uint64_t key, const std::string& benchmark,
+                               const BarrierStagePayload& payload,
+                               StageCounters& c) {
+  if (store_ == nullptr) return;
+  BinaryWriter w;
+  write_barrier_result(w, payload.barrier);
+  w.u64(payload.controller.size());
+  for (const Polynomial& p : payload.controller) write_polynomial(w, p);
+  write_pac_model(w, payload.pac_model);
+  store_payload(kBarrierKind, key, benchmark, w.bytes(), c);
+}
+
+std::optional<ValidationStagePayload> StageCache::load_validation(
+    std::uint64_t key, StageCounters& c) {
+  auto bytes = load_payload(kValidationKind, key, c);
+  if (!bytes.has_value()) return std::nullopt;
+  try {
+    BinaryReader r(*bytes);
+    ValidationStagePayload payload;
+    payload.report = read_validation_report(r);
+    return payload;
+  } catch (const StoreError& e) {
+    ++c.corrupt;
+    --c.hits;
+    ++c.misses;
+    log_info("store: validation payload ", hash_to_hex(key), " undecodable (",
+             e.what(), "); recomputing");
+    return std::nullopt;
+  }
+}
+
+void StageCache::store_validation(std::uint64_t key,
+                                  const std::string& benchmark,
+                                  const ValidationStagePayload& payload,
+                                  StageCounters& c) {
+  if (store_ == nullptr) return;
+  BinaryWriter w;
+  write_validation_report(w, payload.report);
+  store_payload(kValidationKind, key, benchmark, w.bytes(), c);
+}
+
+}  // namespace scs

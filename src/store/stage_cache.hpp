@@ -1,0 +1,154 @@
+// Stage-level checkpointing for the synthesis pipeline.
+//
+// Each pipeline stage gets a cache key derived from (format version, stage
+// tag, benchmark content, the config slice that stage consumes, the seed,
+// and the *upstream stage's key*). The keys form the same DAG as the
+// pipeline itself:
+//
+//   bench ─ rl_key ─ pac_key ─ barrier_key ─ validation_key
+//
+// so changing anything upstream (an RL hyperparameter, the benchmark
+// dynamics, the format version) transparently re-keys -- and thereby
+// invalidates -- every downstream entry, with no explicit invalidation
+// logic anywhere.
+//
+// Knobs (first match wins):
+//   - PipelineConfig::store.mode = kOn / kOff forces it per run;
+//   - env SCS_CACHE=off disables caching globally;
+//   - env SCS_CACHE_DIR=<dir> (or StoreConfig::cache_dir) enables it.
+//
+// Every load verifies the blob checksum. A corrupt, truncated, or
+// version-skewed entry is logged, counted in StageCounters::corrupt, and
+// treated as a miss -- the stage recomputes, mirroring the PR-2 robustness
+// ladder's degrade-don't-crash policy.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "store/store.hpp"
+#include "systems/benchmarks.hpp"
+
+namespace scs {
+
+struct StoreConfig {
+  enum class Mode {
+    kAuto,  // enabled iff SCS_CACHE_DIR is set and SCS_CACHE != "off"
+    kOn,    // enabled (cache_dir or SCS_CACHE_DIR must name a directory)
+    kOff,   // disabled regardless of environment
+  };
+  Mode mode = Mode::kAuto;
+  /// Overrides SCS_CACHE_DIR when non-empty.
+  std::string cache_dir;
+};
+
+/// Effective cache directory after env resolution; empty = caching off.
+std::string resolve_cache_dir(const StoreConfig& config);
+
+/// Per-stage cache telemetry, surfaced in SynthesisResult and the report
+/// layer. hits + misses <= 1 per stage per run (stages consult the cache
+/// once); corrupt counts a load that failed checksum/format verification
+/// (such a load is also a miss).
+struct StageCounters {
+  int hits = 0;
+  int misses = 0;
+  int stores = 0;
+  int corrupt = 0;
+  double load_seconds = 0.0;
+  double store_seconds = 0.0;
+};
+
+struct CacheStats {
+  bool enabled = false;
+  StageCounters rl, pac, barrier, validation;
+};
+
+// ---- Per-stage payloads (everything a warm run needs to reproduce the
+// stage's contribution to SynthesisResult bit-for-bit, wall-clock aside).
+
+struct RlStagePayload {
+  Mlp actor;
+  std::string dnn_structure;
+  EvalResult eval;
+};
+
+struct PacStagePayload {
+  PacResult pac;
+  std::vector<Polynomial> controller;  // physical-scale p(x) per channel
+  bool degraded = false;
+};
+
+struct BarrierStagePayload {
+  BarrierResult barrier;
+  /// The barrier stage may swap in a lower-degree surrogate controller, so
+  /// the accepted controller and PAC model are part of this stage's output.
+  std::vector<Polynomial> controller;
+  PacModel pac_model;
+};
+
+struct ValidationStagePayload {
+  ValidationReport report;
+};
+
+// ---- Key derivation.
+
+std::uint64_t rl_stage_key(const Benchmark& benchmark, std::uint64_t seed,
+                           const DdpgConfig& ddpg, const EnvConfig& env,
+                           int episodes, int eval_episodes);
+
+std::uint64_t pac_stage_key(std::uint64_t upstream_key, std::uint64_t seed,
+                            const PacSettings& settings,
+                            const PacFitOptions& options,
+                            double control_bound, std::size_t num_controls);
+
+std::uint64_t barrier_stage_key(std::uint64_t upstream_key,
+                                const BarrierConfig& config);
+
+std::uint64_t validation_stage_key(std::uint64_t upstream_key,
+                                   std::uint64_t seed,
+                                   const ValidationConfig& config);
+
+class StageCache {
+ public:
+  explicit StageCache(const StoreConfig& config);
+
+  bool enabled() const { return store_ != nullptr; }
+  const std::string& dir() const;
+
+  // Loads return nullopt on miss *or* corruption (counted separately); they
+  // never throw. Stores are best-effort: an I/O failure is logged and the
+  // run continues uncached.
+  std::optional<RlStagePayload> load_rl(std::uint64_t key, StageCounters& c);
+  void store_rl(std::uint64_t key, const std::string& benchmark,
+                const RlStagePayload& payload, StageCounters& c);
+
+  std::optional<PacStagePayload> load_pac(std::uint64_t key, StageCounters& c);
+  void store_pac(std::uint64_t key, const std::string& benchmark,
+                 const PacStagePayload& payload, StageCounters& c);
+
+  std::optional<BarrierStagePayload> load_barrier(std::uint64_t key,
+                                                  StageCounters& c);
+  void store_barrier(std::uint64_t key, const std::string& benchmark,
+                     const BarrierStagePayload& payload, StageCounters& c);
+
+  std::optional<ValidationStagePayload> load_validation(std::uint64_t key,
+                                                        StageCounters& c);
+  void store_validation(std::uint64_t key, const std::string& benchmark,
+                        const ValidationStagePayload& payload,
+                        StageCounters& c);
+
+ private:
+  std::optional<std::vector<unsigned char>> load_payload(
+      const char* kind, std::uint64_t key, StageCounters& c);
+  void store_payload(const char* kind, std::uint64_t key,
+                     const std::string& benchmark,
+                     const std::vector<unsigned char>& payload,
+                     StageCounters& c);
+
+  std::shared_ptr<ArtifactStore> store_;  // null when disabled
+};
+
+}  // namespace scs

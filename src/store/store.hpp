@@ -1,0 +1,75 @@
+// Content-addressed on-disk artifact store.
+//
+// One blob per file, named `<kind>-<hex16 key>.scsb` directly under the
+// store root. The key is a cache key derived (src/store/stage_cache) from
+// everything that determines the blob's content -- benchmark, config slice,
+// seed, format version, and the upstream stage's key -- so "lookup by key"
+// is "lookup by content"; there is no separate index to fall out of sync.
+//
+// Writes are atomic (temp file + rename), so a crashed run can leave at
+// worst an orphaned *.tmp file, never a half-written blob under its final
+// name. Reads verify the frame checksum; a corrupt blob surfaces as
+// StoreError for the caller to degrade to recompute (see StageCache).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "store/serialize.hpp"
+
+namespace scs {
+
+struct BlobInfo {
+  std::string path;        // full path to the blob file
+  std::string file;        // file name only
+  std::uint64_t file_bytes = 0;
+  BlobHeader header;       // parsed header (kind/key/benchmark/payload size)
+  bool readable = false;   // header parsed successfully
+  bool checksum_ok = false;  // full checksum verified (verify() only)
+};
+
+class ArtifactStore {
+ public:
+  /// The directory is created on the first put(); a missing directory just
+  /// means every get() misses.
+  explicit ArtifactStore(std::string root);
+
+  const std::string& root() const { return root_; }
+
+  std::string blob_path(const std::string& kind, std::uint64_t key) const;
+  bool contains(const std::string& kind, std::uint64_t key) const;
+
+  /// Atomically persist a framed blob. I/O failures are reported as
+  /// StoreError (callers treat the store as best-effort).
+  void put(const std::string& kind, std::uint64_t key,
+           const std::string& benchmark,
+           const std::vector<unsigned char>& payload);
+
+  /// Load and verify a blob. nullopt = absent; StoreError = present but
+  /// unreadable/corrupt (checksum mismatch, truncation, bad header).
+  /// When the `store_corrupt` fault-injection site is armed, a loaded
+  /// payload byte is flipped before verification to exercise exactly that
+  /// error path.
+  std::optional<std::vector<unsigned char>> get(const std::string& kind,
+                                                std::uint64_t key,
+                                                BlobHeader* header = nullptr);
+
+  /// Headers of every *.scsb file under the root (unreadable blobs are
+  /// included with readable = false).
+  std::vector<BlobInfo> list() const;
+
+  /// list() plus a full checksum verification per blob.
+  std::vector<BlobInfo> verify() const;
+
+  /// Garbage-collect: always removes unreadable/corrupt blobs and orphaned
+  /// *.tmp files; when max_bytes > 0, additionally evicts oldest-first
+  /// (by mtime) until the store fits. Returns the removed file names.
+  std::vector<std::string> gc(std::uint64_t max_bytes = 0);
+
+ private:
+  std::string root_;
+};
+
+}  // namespace scs

@@ -1,6 +1,7 @@
 #include "systems/benchmarks.hpp"
 
 #include "util/check.hpp"
+#include "util/hash.hpp"
 
 namespace scs {
 
@@ -302,6 +303,30 @@ std::vector<BenchmarkId> all_benchmark_ids() {
 
 std::string benchmark_name(BenchmarkId id) {
   return make_benchmark(id).name;
+}
+
+
+void hash_append(Fnv1a& h, const PacSettings& s) {
+  hash_append(h, s.eta);
+  hash_append(h, s.tau);
+  hash_append(h, s.max_degree);
+  hash_append(h, s.eps_list);
+  hash_append(h, s.delta_e_tol);
+}
+
+void hash_append(Fnv1a& h, const RlBudget& b) {
+  hash_append(h, b.episodes);
+  hash_append(h, b.steps_per_episode);
+  hash_append(h, b.dt);
+}
+
+void hash_append(Fnv1a& h, const Benchmark& b) {
+  hash_append(h, b.name);
+  hash_append(h, b.ccds);
+  hash_append(h, b.hidden_layers);
+  hash_append(h, b.pac);
+  hash_append(h, b.barrier_degrees);
+  hash_append(h, b.rl);
 }
 
 }  // namespace scs

@@ -61,4 +61,11 @@ std::vector<BenchmarkId> all_benchmark_ids();
 /// Human-readable name ("C1".."C10").
 std::string benchmark_name(BenchmarkId id);
 
+// Cache-key digests (see src/store): every field that influences a stage's
+// output must be folded in here -- add a field, add a hash_append line.
+void hash_append(Fnv1a& h, const PacSettings& s);
+void hash_append(Fnv1a& h, const RlBudget& b);
+/// Full benchmark content: name, system, network sizes, budgets.
+void hash_append(Fnv1a& h, const Benchmark& b);
+
 }  // namespace scs

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/check.hpp"
+#include "util/hash.hpp"
 
 namespace scs {
 
@@ -77,6 +78,12 @@ std::vector<Vec> Box::grid(std::size_t per_dim) const {
     }
   }
   return points;
+}
+
+
+void hash_append(Fnv1a& h, const Box& box) {
+  hash_append(h, box.lo);
+  hash_append(h, box.hi);
 }
 
 }  // namespace scs

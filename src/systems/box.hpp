@@ -35,4 +35,6 @@ struct Box {
   std::vector<Vec> grid(std::size_t per_dim) const;
 };
 
+void hash_append(Fnv1a& h, const Box& box);
+
 }  // namespace scs

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/check.hpp"
+#include "util/hash.hpp"
 
 namespace scs {
 
@@ -66,6 +67,18 @@ void Ccds::validate() const {
   SCS_REQUIRE(domain.dim() == num_states, "Ccds: Psi dimension mismatch");
   SCS_REQUIRE(unsafe_set.dim() == num_states, "Ccds: X_u dimension mismatch");
   SCS_REQUIRE(control_bound > 0.0, "Ccds: control bound must be positive");
+}
+
+
+void hash_append(Fnv1a& h, const Ccds& sys) {
+  hash_append(h, sys.name);
+  hash_append(h, static_cast<std::uint64_t>(sys.num_states));
+  hash_append(h, static_cast<std::uint64_t>(sys.num_controls));
+  hash_append(h, sys.open_field);
+  hash_append(h, sys.init_set);
+  hash_append(h, sys.domain);
+  hash_append(h, sys.unsafe_set);
+  hash_append(h, sys.control_bound);
 }
 
 }  // namespace scs

@@ -58,4 +58,9 @@ struct Ccds {
   void validate() const;
 };
 
+/// Digest of everything that defines the system mathematically (field,
+/// sets, bounds). Cache keys hash the *content*, not just the benchmark
+/// name, so editing a benchmark's dynamics invalidates its cached stages.
+void hash_append(Fnv1a& h, const Ccds& sys);
+
 }  // namespace scs

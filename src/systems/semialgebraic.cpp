@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "util/check.hpp"
+#include "util/hash.hpp"
 
 namespace scs {
 
@@ -142,6 +143,12 @@ double SemialgebraicSet::distance_to(const Vec& x, Rng* rng) const {
     best = std::min(best, y.norm());
   }
   return std::isfinite(best) ? best : 0.0;
+}
+
+
+void hash_append(Fnv1a& h, const SemialgebraicSet& set) {
+  hash_append(h, set.inequalities());
+  hash_append(h, set.sampling_box());
 }
 
 }  // namespace scs

@@ -63,4 +63,9 @@ class SemialgebraicSet {
   DistanceFn distance_;
 };
 
+/// Digest of the set's polynomial data (inequalities + sampling box). The
+/// analytic distance function, when present, is derived from the same data
+/// and is deliberately not part of the digest.
+void hash_append(Fnv1a& h, const SemialgebraicSet& set);
+
 }  // namespace scs

@@ -19,6 +19,8 @@ const char* to_string(FaultSite site) {
       return "sdp";
     case FaultSite::kNanBoundary:
       return "nan";
+    case FaultSite::kStoreCorrupt:
+      return "store_corrupt";
     case FaultSite::kCount:
       break;
   }

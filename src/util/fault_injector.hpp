@@ -10,8 +10,8 @@
 // Activation:
 //   - env var SCS_FAULT_SEED=<uint64> arms the injector at process start;
 //     SCS_FAULT_RATE (default 0.05), SCS_FAULT_MAX_FIRES (default 8 per
-//     site), and SCS_FAULT_SITES (comma list of "cholesky,lu,sdp,nan";
-//     default all) tune it;
+//     site), and SCS_FAULT_SITES (comma list of
+//     "cholesky,lu,sdp,nan,store_corrupt"; default all) tune it;
 //   - tests arm it programmatically with arm() / disarm().
 //
 // Cost when disarmed: one relaxed atomic load per interrogation site, no
@@ -36,6 +36,7 @@ enum class FaultSite : int {
   kLuPivot,            // zero the selected pivot (forces the singular path)
   kSdpStall,           // suppress an interior-point step (forces stall)
   kNanBoundary,        // replace a value crossing a layer boundary with NaN
+  kStoreCorrupt,       // flip a byte in a loaded artifact-store blob
   kCount,
 };
 

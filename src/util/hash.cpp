@@ -1,0 +1,32 @@
+#include "util/hash.hpp"
+
+namespace scs {
+
+std::string hash_to_hex(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+bool hash_from_hex(const std::string& hex, std::uint64_t& out) {
+  if (hex.size() != 16) return false;
+  std::uint64_t v = 0;
+  for (char c : hex) {
+    int digit;
+    if (c >= '0' && c <= '9')
+      digit = c - '0';
+    else if (c >= 'a' && c <= 'f')
+      digit = 10 + (c - 'a');
+    else
+      return false;
+    v = (v << 4) | static_cast<std::uint64_t>(digit);
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace scs

@@ -1,0 +1,85 @@
+// FNV-1a content hashing for the artifact store (src/store).
+//
+// Cache keys and blob checksums are 64-bit FNV-1a digests of a canonical
+// byte stream: integers are folded in as fixed-width little-endian words and
+// doubles as their IEEE-754 bit patterns, so a digest is identical across
+// runs, thread counts, and (same-endianness) machines. The hasher lives in
+// util/ -- below every domain library -- so each module can provide a
+// `hash_append(Fnv1a&, const ItsConfig&)` overload next to the struct it
+// describes, and adding a config field without updating the hash is a
+// one-file review failure instead of a silent stale-cache bug.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace scs {
+
+class Fnv1a {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 14695981039346656037ull;
+  static constexpr std::uint64_t kPrime = 1099511628211ull;
+
+  void update(const void* data, std::size_t len) {
+    const unsigned char* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+      hash_ ^= static_cast<std::uint64_t>(bytes[i]);
+      hash_ *= kPrime;
+    }
+  }
+
+  std::uint64_t digest() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = kOffsetBasis;
+};
+
+inline void hash_append(Fnv1a& h, std::uint64_t v) {
+  unsigned char bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<unsigned char>(v >> (8 * i));
+  h.update(bytes, 8);
+}
+
+inline void hash_append(Fnv1a& h, std::int64_t v) {
+  hash_append(h, static_cast<std::uint64_t>(v));
+}
+
+inline void hash_append(Fnv1a& h, int v) {
+  hash_append(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(v)));
+}
+
+inline void hash_append(Fnv1a& h, bool v) {
+  hash_append(h, static_cast<std::uint64_t>(v ? 1 : 0));
+}
+
+inline void hash_append(Fnv1a& h, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  hash_append(h, bits);
+}
+
+inline void hash_append(Fnv1a& h, const std::string& s) {
+  hash_append(h, static_cast<std::uint64_t>(s.size()));
+  h.update(s.data(), s.size());
+}
+
+inline void hash_append(Fnv1a& h, const char* s) {
+  hash_append(h, std::string(s));
+}
+
+template <typename T>
+void hash_append(Fnv1a& h, const std::vector<T>& v) {
+  hash_append(h, static_cast<std::uint64_t>(v.size()));
+  for (const T& x : v) hash_append(h, x);
+}
+
+/// Fixed-width lowercase hex rendering of a digest (blob file names, CLI).
+std::string hash_to_hex(std::uint64_t v);
+
+/// Parse a hash_to_hex string back; returns false on malformed input.
+bool hash_from_hex(const std::string& hex, std::uint64_t& out);
+
+}  // namespace scs

@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "core/artifacts.hpp"
 #include "util/check.hpp"
@@ -72,16 +74,110 @@ TEST(Artifacts, FromResultExtractsFields) {
   EXPECT_EQ(a.controller.size(), 1u);
 }
 
-TEST(Artifacts, RejectsBadHeaderAndTruncation) {
-  std::stringstream bad("nope 1\n");
-  EXPECT_THROW(load_artifacts(bad), PreconditionError);
-  const SynthesisArtifacts a = sample_artifacts();
+std::string sample_text() {
   std::stringstream ss;
-  save_artifacts(a, ss);
-  std::string text = ss.str();
-  text.resize(text.size() / 3);
-  std::stringstream half(text);
-  EXPECT_THROW(load_artifacts(half), PreconditionError);
+  save_artifacts(sample_artifacts(), ss);
+  return ss.str();
+}
+
+/// Run load_artifacts on `text` and return the structured error it throws.
+ArtifactParseError expect_parse_error(const std::string& text) {
+  std::stringstream ss(text);
+  try {
+    load_artifacts(ss);
+  } catch (const ArtifactParseError& e) {
+    return e;
+  }
+  ADD_FAILURE() << "load_artifacts accepted malformed input:\n" << text;
+  return ArtifactParseError(0, "", "not thrown");
+}
+
+TEST(Artifacts, RejectsBadHeaderWithLineContext) {
+  const ArtifactParseError e = expect_parse_error("nope 1\n");
+  EXPECT_EQ(e.line(), 1);
+  EXPECT_NE(std::string(e.what()).find("scs-artifacts"), std::string::npos);
+  EXPECT_EQ(e.content(), "nope 1");
+}
+
+TEST(Artifacts, RejectsUnsupportedVersion) {
+  const ArtifactParseError e = expect_parse_error("scs-artifacts 99\n");
+  EXPECT_EQ(e.line(), 1);
+  EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+}
+
+TEST(Artifacts, RejectsTruncationAtEveryPrefix) {
+  // Chopping the file after any line must fail with the line number just
+  // past the end -- never crash, never return a partial artifact.
+  const std::string text = sample_text();
+  std::vector<std::size_t> line_starts{0};
+  for (std::size_t i = 0; i < text.size(); ++i)
+    if (text[i] == '\n' && i + 1 < text.size()) line_starts.push_back(i + 1);
+  for (std::size_t n = 1; n < line_starts.size(); ++n) {
+    const ArtifactParseError e =
+        expect_parse_error(text.substr(0, line_starts[n]));
+    EXPECT_EQ(e.line(), static_cast<int>(n) + 1) << "truncated after line "
+                                                 << n;
+    EXPECT_NE(std::string(e.what()).find("file ends"), std::string::npos);
+  }
+}
+
+TEST(Artifacts, RejectsMalformedFieldWithLineNumber) {
+  std::string text = sample_text();
+  const std::string needle = "states 2";
+  text.replace(text.find(needle), needle.size(), "states two");
+  const ArtifactParseError e = expect_parse_error(text);
+  EXPECT_EQ(e.line(), 3);
+  EXPECT_EQ(e.content(), "states two");
+  EXPECT_NE(std::string(e.what()).find("malformed"), std::string::npos);
+}
+
+TEST(Artifacts, RejectsTrailingJunkOnKeywordLine) {
+  std::string text = sample_text();
+  const std::string needle = "barrier-degree 2";
+  text.replace(text.find(needle), needle.size(), "barrier-degree 2 extra");
+  const ArtifactParseError e = expect_parse_error(text);
+  EXPECT_EQ(e.line(), 6);
+  EXPECT_NE(std::string(e.what()).find("trailing junk"), std::string::npos);
+}
+
+TEST(Artifacts, RejectsUnparsablePolynomialWithLineNumber) {
+  std::string text = sample_text();
+  // Line 5 is the single controller polynomial: replace it wholesale.
+  std::vector<std::string> lines;
+  std::stringstream ss(text);
+  for (std::string l; std::getline(ss, l);) lines.push_back(l);
+  lines[4] = "9.875*x1 - @garbage@";
+  std::string broken;
+  for (const auto& l : lines) broken += l + "\n";
+  const ArtifactParseError e = expect_parse_error(broken);
+  EXPECT_EQ(e.line(), 5);
+  EXPECT_NE(std::string(e.what()).find("controller"), std::string::npos);
+}
+
+TEST(Artifacts, RejectsImplausibleChannelCount) {
+  std::string text = sample_text();
+  const std::string needle = "controller 1";
+  text.replace(text.find(needle), needle.size(), "controller 99999");
+  const ArtifactParseError e = expect_parse_error(text);
+  EXPECT_EQ(e.line(), 4);
+  EXPECT_NE(std::string(e.what()).find("implausible"), std::string::npos);
+}
+
+TEST(Artifacts, CarriageReturnsAreTolerated) {
+  // A file that passed through a CRLF translation still loads.
+  std::string text = sample_text();
+  std::string crlf;
+  for (char c : text) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  std::stringstream ss(crlf);
+  const SynthesisArtifacts b = load_artifacts(ss);
+  EXPECT_EQ(b.benchmark, "C1");
+  EXPECT_EQ(b.num_states, 2u);
+}
+
+TEST(Artifacts, MissingFileStillPreconditionError) {
   EXPECT_THROW(load_artifacts_file("/nonexistent/a.txt"), PreconditionError);
 }
 
