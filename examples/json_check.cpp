@@ -1,0 +1,40 @@
+// Dependency-free JSON validity checker for CI smoke jobs:
+//
+//   ./json_check file.json [more.json ...]
+//
+// Exits 0 when every file parses as a complete JSON document (per
+// scs::json_parse_valid, the same strict parser the unit tests use),
+// 1 with a diagnostic otherwise. Used by scripts/ci.sh to assert that
+// synthesize_cli --trace / --metrics emitted well-formed output.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/json_writer.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: " << argv[0] << " <file.json> [more.json ...]\n";
+    return 2;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i]);
+    if (!in) {
+      std::cerr << argv[i] << ": cannot open\n";
+      ++failures;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string error;
+    if (scs::json_parse_valid(buf.str(), &error)) {
+      std::cout << argv[i] << ": ok (" << buf.str().size() << " bytes)\n";
+    } else {
+      std::cerr << argv[i] << ": INVALID JSON: " << error << "\n";
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}

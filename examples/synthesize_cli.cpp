@@ -9,6 +9,10 @@
 //                       SCS_CACHE_DIR); a re-run with the same seed and
 //                       config resumes from the last finished stage
 //   --no-cache          disable the artifact store for this run
+//   --trace <file>      export a Chrome trace-event timeline of the run
+//                       (open in chrome://tracing or ui.perfetto.dev)
+//   --metrics <file>    dump the solver/store/pool metrics registry as JSON
+//   --fast              shrunken budgets (smoke tests / CI)
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -49,7 +53,8 @@ int run_load(const char* path) {
 
 void print_usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " [--cache-dir <dir>] [--no-cache] <C1..C10> <output-file> "
+            << " [--cache-dir <dir>] [--no-cache] [--trace <file>]\n"
+            << "       [--metrics <file>] [--fast] <C1..C10> <output-file> "
             << "[episodes]\n       " << argv0 << " --load <file>\n";
 }
 
@@ -61,6 +66,8 @@ int main(int argc, char** argv) {
     return run_load(argv[2]);
 
   StoreConfig store;
+  ObsConfig obs;
+  bool fast = false;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -73,6 +80,20 @@ int main(int argc, char** argv) {
       }
       store.mode = StoreConfig::Mode::kOn;
       store.cache_dir = argv[++i];
+    } else if (arg == "--trace") {
+      if (i + 1 >= argc) {
+        std::cerr << "--trace needs a file argument\n";
+        return 2;
+      }
+      obs.trace_path = argv[++i];
+    } else if (arg == "--metrics") {
+      if (i + 1 >= argc) {
+        std::cerr << "--metrics needs a file argument\n";
+        return 2;
+      }
+      obs.metrics_path = argv[++i];
+    } else if (arg == "--fast") {
+      fast = true;
     } else {
       positional.push_back(arg);
     }
@@ -90,12 +111,17 @@ int main(int argc, char** argv) {
     PipelineConfig config;
     config.seed = 2024;
     config.store = store;
+    config.obs = obs;
+    config.fast_mode = fast;
     if (positional.size() > 2)
       config.rl_episodes = std::atoi(positional[2].c_str());
     config.pac_fit.max_samples = 50000;
     const SynthesisResult result = synthesize(bench, config);
-    if (result.cache.enabled)
-      std::cout << "cache: " << cache_stats_json(result.cache) << "\n";
+    std::cout << "timings: " << stage_timings_json(result) << "\n";
+    if (!obs.trace_path.empty())
+      std::cout << "trace written to " << obs.trace_path << "\n";
+    if (!obs.metrics_path.empty())
+      std::cout << "metrics written to " << obs.metrics_path << "\n";
     if (!result.success) {
       std::cerr << "synthesis failed at stage '" << result.failure_stage
                 << "': " << result.barrier.failure_reason << "\n";

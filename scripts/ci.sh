@@ -11,6 +11,9 @@
 #                            # with the env-driven fault injector armed
 #   scripts/ci.sh store      # store-labeled tests under asan, then the
 #                            # cold-then-warm pipeline-resume smoke
+#   scripts/ci.sh obs        # observability + report-JSON tests under tsan,
+#                            # then a traced synthesize_cli smoke whose
+#                            # trace/metrics output must parse as JSON
 #
 # Label shortcuts (run from any built tree): ctest -L property|fault|golden|store.
 set -euo pipefail
@@ -66,14 +69,45 @@ run_store() {
   rm -rf "${tmp}"
 }
 
+run_obs() {
+  echo "==> Observability suite under ThreadSanitizer"
+  cmake --preset tsan
+  cmake --build --preset tsan -j "${JOBS}" --target obs_test report_json_test
+  ctest --preset tsan-obs -j "${JOBS}" --output-on-failure
+
+  echo "==> Traced synthesize_cli smoke (C1 fast mode)"
+  # The run must succeed with tracing + metrics armed, and both emitted
+  # files must parse as JSON under the library's own strict parser.
+  cmake --preset default
+  cmake --build --preset default -j "${JOBS}" \
+      --target synthesize_cli json_check
+  local tmp rc
+  tmp="$(mktemp -d)"
+  # Exit 1 (= synthesis UNVERIFIED on the shrunken budget) is tolerated --
+  # the smoke asserts the observability output, not the verdict. Exit 2+
+  # (usage / crash) still fails.
+  rc=0
+  ./build/examples/synthesize_cli --fast --no-cache \
+      --trace "${tmp}/trace.json" --metrics "${tmp}/metrics.json" \
+      C1 "${tmp}/out.txt" 5 || rc=$?
+  if [ "${rc}" -gt 1 ]; then
+    echo "synthesize_cli smoke exited with ${rc}" >&2; exit "${rc}"
+  fi
+  ./build/examples/json_check "${tmp}/trace.json" "${tmp}/metrics.json"
+  grep -q '"name":"stage.pac"' "${tmp}/trace.json" || {
+    echo "trace is missing the stage.pac span" >&2; exit 1; }
+  rm -rf "${tmp}"
+}
+
 case "${1:-all}" in
   release) run_release ;;
   asan)    run_asan ;;
   ubsan)   run_ubsan ;;
   fault)   run_fault ;;
   store)   run_store ;;
-  all)     run_release; run_asan; run_ubsan; run_store ;;
-  *) echo "unknown configuration: $1 (want release|asan|ubsan|fault|store|all)" >&2
+  obs)     run_obs ;;
+  all)     run_release; run_asan; run_ubsan; run_store; run_obs ;;
+  *) echo "unknown configuration: $1 (want release|asan|ubsan|fault|store|obs|all)" >&2
      exit 2 ;;
 esac
 

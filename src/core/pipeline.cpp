@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 #include "util/stopwatch.hpp"
@@ -10,6 +12,33 @@
 namespace scs {
 
 namespace {
+
+/// Arm tracing / metrics for one run per PipelineConfig::obs, and flush the
+/// requested files when the run finishes (destructor). Env-armed
+/// observability (SCS_TRACE / SCS_METRICS) flushes at process exit instead
+/// and is not touched here.
+class ObsRunScope {
+ public:
+  explicit ObsRunScope(const ObsConfig& obs) : obs_(obs) {
+    if (!obs_.trace_path.empty()) trace_start(obs_.trace_path);
+    if (!obs_.metrics_path.empty()) set_metrics_enabled(true);
+  }
+  ~ObsRunScope() {
+    if (!obs_.trace_path.empty()) trace_write(obs_.trace_path);
+    if (!obs_.metrics_path.empty()) metrics_write(obs_.metrics_path);
+  }
+  ObsRunScope(const ObsRunScope&) = delete;
+  ObsRunScope& operator=(const ObsRunScope&) = delete;
+
+ private:
+  ObsConfig obs_;
+};
+
+/// Registry snapshot for SynthesisResult (empty when metrics are off).
+std::string metrics_snapshot_or_empty() {
+  if (!metrics_enabled()) return {};
+  return MetricsRegistry::instance().json();
+}
 
 /// Apply fast-mode shrinkage for unit tests.
 void apply_fast_mode(PipelineConfig& cfg, int& episodes, PacSettings& pac) {
@@ -47,6 +76,7 @@ SynthesisResult run_stages_2_to_4_impl(const Benchmark& benchmark,
   // exactly what the paper's tanh-output actors emit -- so the tabulated
   // errors e are comparable to Table 1/2 regardless of actuator scale. The
   // physical controller is bound * p(x).
+  TraceSpan pac_span("stage.pac");
   Stopwatch pac_sw;
   const double bound = sys.control_bound;
   std::uint64_t pac_key = 0;
@@ -88,6 +118,7 @@ SynthesisResult run_stages_2_to_4_impl(const Benchmark& benchmark,
                        result.cache.pac);
   }
   result.pac_seconds = pac_sw.seconds();
+  pac_span.close();
   if (result.pac_degraded) {
     log_info("pipeline[", benchmark.name,
              "]: PAC guarantee withdrawn (least-squares fallback in use); "
@@ -99,6 +130,7 @@ SynthesisResult run_stages_2_to_4_impl(const Benchmark& benchmark,
   // degrees from the Algorithm-1 sweep are tried (lower-degree surrogates
   // both shrink the SOS program and often smooth the closed loop -- the
   // "broader possibilities for BC selection" of Section 5).
+  TraceSpan barrier_span("stage.barrier");
   Stopwatch barrier_sw;
   BarrierConfig barrier_cfg = config.barrier;
   if (barrier_cfg.degree_schedule.empty())
@@ -162,6 +194,7 @@ SynthesisResult run_stages_2_to_4_impl(const Benchmark& benchmark,
           result.cache.barrier);
   }
   result.barrier_seconds = barrier_sw.seconds();
+  barrier_span.close();
   if (!result.barrier.success) {
     result.failure_stage = "barrier";
     result.failure_message =
@@ -171,6 +204,7 @@ SynthesisResult run_stages_2_to_4_impl(const Benchmark& benchmark,
   }
 
   // ---- Stage 4: independent validation.
+  TraceSpan validation_span("stage.validation");
   Stopwatch validation_sw;
   std::uint64_t validation_key = 0;
   bool validation_warm = false;
@@ -194,6 +228,7 @@ SynthesisResult run_stages_2_to_4_impl(const Benchmark& benchmark,
                               {result.validation}, result.cache.validation);
   }
   result.validation_seconds = validation_sw.seconds();
+  validation_span.close();
   if (!result.validation.passed) {
     result.failure_stage = "validation";
     result.failure_message = "independent numeric validation rejected the "
@@ -234,9 +269,13 @@ SynthesisResult run_stages_2_to_4(const Benchmark& benchmark,
 
 SynthesisResult synthesize(const Benchmark& benchmark,
                            const PipelineConfig& config) {
+  ObsRunScope obs_scope(config.obs);
+  LogTagScope tag_scope(benchmark.name);
+  TraceSpan run_span("synthesize:" + benchmark.name);
   Stopwatch total_sw;
   SynthesisResult result;
   result.benchmark = benchmark.name;
+  result.threads_used = static_cast<int>(parallel_threads());
   const Ccds& sys = benchmark.ccds;
 
   PipelineConfig cfg = config;
@@ -258,6 +297,7 @@ SynthesisResult synthesize(const Benchmark& benchmark,
     rl_key = rl_stage_key(benchmark, cfg.seed, cfg.ddpg, cfg.env, episodes,
                           cfg.eval_episodes);
 
+  TraceSpan rl_span("stage.rl");
   Stopwatch rl_sw;
   Rng rng(cfg.seed);
   try {
@@ -292,6 +332,7 @@ SynthesisResult synthesize(const Benchmark& benchmark,
             {agent.actor(), result.dnn_structure, result.rl_eval},
             result.cache.rl);
     }
+    rl_span.close();
 
     result = run_stages_2_to_4(benchmark, law, cfg, std::move(result),
                                cache.enabled() ? &cache : nullptr, rl_key);
@@ -304,18 +345,24 @@ SynthesisResult synthesize(const Benchmark& benchmark,
     result.verdict = "UNVERIFIED";
   }
   result.total_seconds = total_sw.seconds();
+  result.metrics_json = metrics_snapshot_or_empty();
   return result;
 }
 
 SynthesisResult synthesize_from_law(const Benchmark& benchmark,
                                     const ControlLaw& law,
                                     const PipelineConfig& config) {
+  ObsRunScope obs_scope(config.obs);
+  LogTagScope tag_scope(benchmark.name);
+  TraceSpan run_span("synthesize:" + benchmark.name);
   Stopwatch total_sw;
   SynthesisResult result;
   result.benchmark = benchmark.name;
   result.dnn_structure = "(external law)";
+  result.threads_used = static_cast<int>(parallel_threads());
   result = run_stages_2_to_4(benchmark, law, config, std::move(result));
   result.total_seconds = total_sw.seconds();
+  result.metrics_json = metrics_snapshot_or_empty();
   return result;
 }
 

@@ -22,6 +22,16 @@
 
 namespace scs {
 
+/// Per-run observability knobs (the env vars SCS_TRACE / SCS_METRICS arm
+/// the same machinery process-wide; these fields scope it to one run and
+/// write the files when synthesize() returns).
+struct ObsConfig {
+  /// Non-empty: collect Chrome trace-event spans and export them here.
+  std::string trace_path;
+  /// Non-empty: enable the metrics registry and dump it as JSON here.
+  std::string metrics_path;
+};
+
 struct PipelineConfig {
   std::uint64_t seed = 1;
 
@@ -50,6 +60,10 @@ struct PipelineConfig {
   /// RL (and any other cached stage) and reproduces the cold run's
   /// controller/barrier/verdict bit-for-bit.
   StoreConfig store;
+
+  /// Tracing / metrics for this run (see src/obs). Observation only: never
+  /// perturbs results, caches, or bitwise determinism.
+  ObsConfig obs;
 };
 
 struct SynthesisResult {
@@ -87,9 +101,20 @@ struct SynthesisResult {
   /// Wall-clock for the whole pipeline run on this benchmark.
   double total_seconds = 0.0;
 
+  /// Parallel execution width recorded at synthesize() entry -- the width
+  /// the run actually used, immune to later set_parallel_threads() calls
+  /// (reports sampled the *current* pool width before, which lied after a
+  /// pool reconfig). 0 only on default-constructed results.
+  int threads_used = 0;
+
   /// Per-stage artifact-store telemetry (hits/misses/corrupt/load times);
   /// cache.enabled is false when the store is off for this run.
   CacheStats cache;
+
+  /// Snapshot of the process-wide metrics registry (JSON) taken when this
+  /// run finished; empty when metrics collection is disabled. Cumulative
+  /// across the process, not per-run.
+  std::string metrics_json;
 };
 
 /// Run the full pipeline on one benchmark.

@@ -1,8 +1,10 @@
 #include "core/report.hpp"
 
+#include <cstdint>
 #include <iomanip>
 #include <sstream>
 
+#include "obs/json_writer.hpp"
 #include "util/thread_pool.hpp"
 
 namespace scs {
@@ -87,44 +89,54 @@ std::string table2_row(const Benchmark& benchmark,
 }
 
 std::string stage_timings_json(const SynthesisResult& result) {
-  std::ostringstream os;
-  os << "{\"benchmark\":\"" << result.benchmark << "\""
-     << ",\"verdict\":\"" << result.verdict << "\""
-     << ",\"rl_seconds\":" << fmt_double(result.rl_seconds, 6)
-     << ",\"pac_seconds\":" << fmt_double(result.pac_seconds, 6)
-     << ",\"barrier_seconds\":" << fmt_double(result.barrier_seconds, 6)
-     << ",\"validation_seconds\":" << fmt_double(result.validation_seconds, 6)
-     << ",\"total_seconds\":" << fmt_double(result.total_seconds, 6)
-     << ",\"threads\":" << parallel_threads();
-  if (result.cache.enabled)
-    os << ",\"cache\":" << cache_stats_json(result.cache);
-  os << "}";
-  return os.str();
+  JsonWriter w;
+  w.begin_object();
+  w.key("benchmark").value(result.benchmark);
+  w.key("verdict").value(result.verdict);
+  // Failure attribution rides along so a BENCH_*.json from an UNVERIFIED
+  // run is self-explaining (both empty on success).
+  w.key("failure_stage").value(result.failure_stage);
+  w.key("failure_message").value(result.failure_message);
+  w.key("rl_seconds").value(result.rl_seconds, 6);
+  w.key("pac_seconds").value(result.pac_seconds, 6);
+  w.key("barrier_seconds").value(result.barrier_seconds, 6);
+  w.key("validation_seconds").value(result.validation_seconds, 6);
+  w.key("total_seconds").value(result.total_seconds, 6);
+  // Width the run recorded at synthesize() entry; a default-constructed
+  // result (threads_used == 0) falls back to the current pool width.
+  const int threads = result.threads_used > 0
+                          ? result.threads_used
+                          : static_cast<int>(parallel_threads());
+  w.key("threads").value(threads);
+  if (result.cache.enabled) w.key("cache").raw(cache_stats_json(result.cache));
+  w.end_object();
+  return w.str();
 }
 
 namespace {
-void append_stage_counters(std::ostringstream& os, const char* stage,
+void append_stage_counters(JsonWriter& w, const char* stage,
                            const StageCounters& c) {
-  os << "\"" << stage << "\":{\"hits\":" << c.hits
-     << ",\"misses\":" << c.misses << ",\"stores\":" << c.stores
-     << ",\"corrupt\":" << c.corrupt
-     << ",\"load_seconds\":" << fmt_double(c.load_seconds, 6)
-     << ",\"store_seconds\":" << fmt_double(c.store_seconds, 6) << "}";
+  w.key(stage).begin_object();
+  w.key("hits").value(static_cast<std::int64_t>(c.hits));
+  w.key("misses").value(static_cast<std::int64_t>(c.misses));
+  w.key("stores").value(static_cast<std::int64_t>(c.stores));
+  w.key("corrupt").value(static_cast<std::int64_t>(c.corrupt));
+  w.key("load_seconds").value(c.load_seconds, 6);
+  w.key("store_seconds").value(c.store_seconds, 6);
+  w.end_object();
 }
 }  // namespace
 
 std::string cache_stats_json(const CacheStats& stats) {
-  std::ostringstream os;
-  os << "{\"enabled\":" << (stats.enabled ? "true" : "false") << ",";
-  append_stage_counters(os, "rl", stats.rl);
-  os << ",";
-  append_stage_counters(os, "pac", stats.pac);
-  os << ",";
-  append_stage_counters(os, "barrier", stats.barrier);
-  os << ",";
-  append_stage_counters(os, "validation", stats.validation);
-  os << "}";
-  return os.str();
+  JsonWriter w;
+  w.begin_object();
+  w.key("enabled").value(stats.enabled);
+  append_stage_counters(w, "rl", stats.rl);
+  append_stage_counters(w, "pac", stats.pac);
+  append_stage_counters(w, "barrier", stats.barrier);
+  append_stage_counters(w, "validation", stats.validation);
+  w.end_object();
+  return w.str();
 }
 
 }  // namespace scs

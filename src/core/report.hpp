@@ -23,11 +23,13 @@ std::string table2_row(const Benchmark& benchmark,
                        const NnControllerResult* baseline);
 
 /// Per-stage wall-clock attribution for one pipeline run as a single JSON
-/// object: benchmark name, rl/pac/barrier/validation/total seconds, and the
-/// thread count the run executed with (so BENCH_*.json timings can be
-/// attributed to a parallel configuration). When the artifact store was
-/// enabled for the run, a "cache" sub-object (see cache_stats_json) is
-/// appended so warm timings are attributable to cache hits.
+/// object: benchmark name, verdict, failure_stage/failure_message (empty on
+/// success), rl/pac/barrier/validation/total seconds, and the thread count
+/// the run executed with -- the width recorded at synthesize() entry, not
+/// the pool width at report time. When the artifact store was enabled for
+/// the run, a "cache" sub-object (see cache_stats_json) is appended so warm
+/// timings are attributable to cache hits. All strings are JSON-escaped
+/// (solver failure messages may embed quotes/newlines).
 std::string stage_timings_json(const SynthesisResult& result);
 
 /// Artifact-store telemetry for one run as a JSON object: enabled flag plus

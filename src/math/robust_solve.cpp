@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 
@@ -129,6 +130,11 @@ RobustCholesky robust_cholesky(const Mat& a,
     for (std::size_t i = 0; i < a.rows(); ++i) shifted(i, i) += shift;
     out.factor = Cholesky(shifted);
     ++out.factor_attempts;
+    if (metrics_enabled()) {
+      static Counter& retries = MetricsRegistry::instance().counter(
+          "robust.cholesky_regularize_retries");
+      retries.add(1);
+    }
     if (out.factor.ok()) {
       out.status = SolveStatus::kRegularized;
       out.regularization = shift;
@@ -158,6 +164,11 @@ LinearSolveReport robust_solve_spd(const Mat& a, const Vec& b,
   const auto solve = [&rc](const Vec& v) { return rc.factor.solve(v); };
   report.residual_norm =
       refine_once(a, b, report.x, solve, options.refine_tol, report.refined);
+  if (report.refined && metrics_enabled()) {
+    static Counter& refinements =
+        MetricsRegistry::instance().counter("robust.refinements");
+    refinements.add(1);
+  }
   report.status = (rc.status == SolveStatus::kRegularized)
                       ? SolveStatus::kRegularized
                       : (report.refined ? SolveStatus::kRefined
@@ -184,6 +195,11 @@ LinearSolveReport robust_solve_linear(const Mat& a, const Vec& b,
       for (std::size_t i = 0; i < a.rows(); ++i) shifted(i, i) += shift;
       lu = Lu(shifted);
       ++report.factor_attempts;
+      if (metrics_enabled()) {
+        static Counter& retries = MetricsRegistry::instance().counter(
+            "robust.lu_regularize_retries");
+        retries.add(1);
+      }
       if (!lu.singular()) break;
       shift *= options.shift_growth;
     }
@@ -199,6 +215,11 @@ LinearSolveReport robust_solve_linear(const Mat& a, const Vec& b,
   const auto solve = [&lu](const Vec& v) { return lu.solve(v); };
   report.residual_norm =
       refine_once(a, b, report.x, solve, options.refine_tol, report.refined);
+  if (report.refined && metrics_enabled()) {
+    static Counter& refinements =
+        MetricsRegistry::instance().counter("robust.refinements");
+    refinements.add(1);
+  }
   report.status = (shift > 0.0) ? SolveStatus::kRegularized
                                 : (report.refined ? SolveStatus::kRefined
                                                   : SolveStatus::kOk);

@@ -1,0 +1,159 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "obs/json_writer.hpp"
+
+namespace scs {
+
+// Instruments live in node-stable maps so references handed to callers
+// survive any later registration. One mutex guards registration only; the
+// hot path (instrument updates) never takes it.
+struct MetricsRegistry::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+MetricsRegistry::Impl& MetricsRegistry::impl() const {
+  static Impl* impl = new Impl;  // leaked: usable from atexit handlers
+  return *impl;
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry* reg = new MetricsRegistry;
+  return *reg;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mu);
+  auto& slot = im.counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mu);
+  auto& slot = im.gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mu);
+  auto& slot = im.histograms[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::string MetricsRegistry::json() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mu);
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : im.counters) w.key(name).value(c->value());
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : im.gauges) {
+    w.key(name).begin_object();
+    w.key("value").value(static_cast<std::int64_t>(g->value()));
+    w.key("max").value(static_cast<std::int64_t>(g->max()));
+    w.end_object();
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : im.histograms) {
+    w.key(name).begin_object();
+    w.key("count").value(h->count());
+    w.key("sum").value(h->sum());
+    w.key("max").value(h->max());
+    w.key("buckets").begin_array();
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      const std::uint64_t n = h->bucket_count(b);
+      if (n == 0) continue;  // sparse: empty buckets carry no information
+      w.begin_object();
+      if (b == Histogram::kBuckets - 1)
+        w.key("le").value("inf");
+      else
+        w.key("le").value(Histogram::bucket_bound(b));
+      w.key("count").value(n);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+void MetricsRegistry::reset_for_tests() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mu);
+  for (auto& [name, c] : im.counters) c->reset();
+  for (auto& [name, g] : im.gauges) g->reset();
+  for (auto& [name, h] : im.histograms) h->reset();
+}
+
+namespace {
+
+/// One-time env arming: resolves g_metrics_state from -1 to 0/1 (without
+/// clobbering a concurrent explicit set_metrics_enabled) and registers the
+/// atexit dump when SCS_METRICS names a path. Returns the path ("" unset).
+const std::string& arm_env_once() {
+  static const std::string* path = [] {
+    auto* p = new std::string;  // leaked: usable from the atexit handler
+    int state = 0;
+    const char* env = std::getenv("SCS_METRICS");
+    if (env != nullptr && *env != '\0') {
+      *p = env;
+      state = 1;
+      std::atexit([] { metrics_write(metrics_env_path()); });
+    }
+    int expected = -1;
+    detail::g_metrics_state.compare_exchange_strong(expected, state,
+                                                    std::memory_order_relaxed);
+    return p;
+  }();
+  return *path;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<int> g_metrics_state{-1};
+
+bool metrics_arm_from_env() {
+  arm_env_once();
+  return g_metrics_state.load(std::memory_order_relaxed) > 0;
+}
+
+}  // namespace detail
+
+void set_metrics_enabled(bool on) {
+  arm_env_once();  // keep the SCS_METRICS atexit dump armed regardless
+  detail::g_metrics_state.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+const std::string& metrics_env_path() { return arm_env_once(); }
+
+bool metrics_write(const std::string& path) {
+  if (path.empty()) return false;
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << MetricsRegistry::instance().json() << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace scs

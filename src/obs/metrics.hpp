@@ -1,0 +1,174 @@
+// Process-wide metrics registry: named counters, gauges, and histograms
+// capturing solver and pipeline behavior (SDP iterations/restarts/stalls,
+// simplex pivots, factorization regularization retries, PAC samples
+// drawn/dropped, artifact-store hits/misses/corruptions, thread-pool
+// steals and queue depth).
+//
+// Design constraints, in order:
+//   1. Near-zero overhead when disabled. Every instrumentation site guards
+//      with `if (metrics_enabled())` -- a single relaxed atomic load -- and
+//      caches its instrument in a function-local static, so the disabled
+//      cost is one load + one predictable branch, no locks, no lookups.
+//   2. No effect on determinism. Instruments only *observe*; nothing in the
+//      numeric stack reads them back, and nothing metric-related enters
+//      cached artifacts or SynthesisResult numerics.
+//   3. Safe concurrent aggregation. All instrument state is relaxed
+//      atomics, so pool workers increment freely; totals are exact because
+//      fetch_add is atomic regardless of memory order.
+//
+// Activation: env SCS_METRICS=<path> enables collection at first use and
+// dumps the registry as JSON to <path> at process exit; tests and the CLI
+// enable programmatically with set_metrics_enabled() / metrics_write().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scs {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written value plus the maximum ever written (e.g. queue depth:
+/// `set` publishes the instantaneous depth, `max` keeps the high-water
+/// mark).
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+    std::int64_t prev = max_.load(std::memory_order_relaxed);
+    while (v > prev &&
+           !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  std::int64_t max() const { return max_.load(std::memory_order_relaxed); }
+  void reset() {
+    value_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+/// Histogram over non-negative integer observations (iteration counts,
+/// pivot counts, queue depths) with fixed power-of-two bucket upper bounds
+/// 1, 2, 4, ..., 2^(kBuckets-2), +inf. Tracks count/sum/max exactly.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 16;
+
+  void observe(std::uint64_t v) {
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    std::uint64_t prev = max_.load(std::memory_order_relaxed);
+    while (v > prev &&
+           !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket_count(int b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+  /// Upper bound of bucket `b` (the last bucket is unbounded).
+  static std::uint64_t bucket_bound(int b) {
+    return std::uint64_t{1} << b;
+  }
+  void reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static int bucket_of(std::uint64_t v) {
+    for (int b = 0; b < kBuckets - 1; ++b)
+      if (v <= bucket_bound(b)) return b;
+    return kBuckets - 1;
+  }
+
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Name -> instrument registry. Instruments are created on first lookup and
+/// never destroyed or moved (references stay valid for the process
+/// lifetime, so sites may cache them in function-local statics).
+/// reset_for_tests() zeroes values without invalidating references.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Serialize every registered instrument as one JSON object, sorted by
+  /// name: counters as integers, gauges as {value,max}, histograms as
+  /// {count,sum,max,buckets:[{le,count},...]}.
+  std::string json() const;
+
+  /// Zero every instrument (tests and bench iterations).
+  void reset_for_tests();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+ private:
+  MetricsRegistry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+namespace detail {
+/// Tri-state collection gate: -1 = not yet armed from the environment,
+/// 0 = off, 1 = on. Exposed so metrics_enabled() inlines to a single
+/// relaxed load + compare at every instrumentation site.
+extern std::atomic<int> g_metrics_state;
+/// Slow path (first call only): reads SCS_METRICS, registers the atexit
+/// dump when set, and resolves the state to 0/1.
+bool metrics_arm_from_env();
+}  // namespace detail
+
+/// Collection gate: inlines to one relaxed atomic load and a predictable
+/// branch. The first call arms from the SCS_METRICS environment variable
+/// (non-empty => enabled + atexit dump).
+inline bool metrics_enabled() {
+  const int s = detail::g_metrics_state.load(std::memory_order_relaxed);
+  if (s >= 0) return s != 0;
+  return detail::metrics_arm_from_env();
+}
+
+/// Enable / disable collection programmatically (overrides the env gate).
+void set_metrics_enabled(bool on);
+
+/// Dump path requested via SCS_METRICS ("" when unset).
+const std::string& metrics_env_path();
+
+/// Write the registry JSON to `path` (creates/truncates). Returns false on
+/// I/O failure.
+bool metrics_write(const std::string& path);
+
+}  // namespace scs

@@ -6,6 +6,8 @@
 
 #include "math/cholesky.hpp"
 #include "math/robust_solve.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/fault_injector.hpp"
 #include "util/log.hpp"
@@ -250,6 +252,12 @@ SdpSolution solve_sdp_once(const SdpProblem& problem, const SdpOptions& options,
   Residuals res;
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     sol.iterations = iter + 1;
+    if (metrics_enabled()) {
+      static Counter& iterations =
+          MetricsRegistry::instance().counter("sdp.iterations");
+      iterations.add(1);
+    }
+    if (trace_enabled()) trace_instant("sdp.iteration");
 
     compute_residuals(res);
     const double p_infeas = res.rp.norm() / b_norm;
@@ -286,6 +294,11 @@ SdpSolution solve_sdp_once(const SdpProblem& problem, const SdpOptions& options,
       best_merit_iter = iter;
     } else if (iter - best_merit_iter >= options.stall_window) {
       sol.status = SdpStatus::kStalled;
+      if (metrics_enabled()) {
+        static Counter& stalls =
+            MetricsRegistry::instance().counter("sdp.stalls");
+        stalls.add(1);
+      }
       break;
     }
 
@@ -517,6 +530,11 @@ SdpSolution solve_sdp_once(const SdpProblem& problem, const SdpOptions& options,
       // Both step lengths collapsed: the iteration can no longer move, which
       // is a stall (often near-infeasibility), not corrupted arithmetic.
       sol.status = SdpStatus::kStalled;
+      if (metrics_enabled()) {
+        static Counter& stalls =
+            MetricsRegistry::instance().counter("sdp.stalls");
+        stalls.add(1);
+      }
       break;
     }
 
@@ -546,6 +564,11 @@ SdpSolution solve_sdp_once(const SdpProblem& problem, const SdpOptions& options,
 }  // namespace
 
 SdpSolution solve_sdp(const SdpProblem& problem, const SdpOptions& options) {
+  TraceSpan span("sdp.solve");
+  if (metrics_enabled()) {
+    static Counter& solves = MetricsRegistry::instance().counter("sdp.solves");
+    solves.add(1);
+  }
   Stopwatch budget_sw;
   SdpSolution best = solve_sdp_once(problem, options, budget_sw);
   if (best.status == SdpStatus::kConverged ||
@@ -576,6 +599,11 @@ SdpSolution solve_sdp(const SdpProblem& problem, const SdpOptions& options) {
     log_info("sdp: ", to_string(best.status), " after ", best.iterations,
              " iterations; retry ", retry, "/", options.max_retries,
              " at scale ", retry_options.initial_scale);
+    if (metrics_enabled()) {
+      static Counter& restarts =
+          MetricsRegistry::instance().counter("sdp.restarts");
+      restarts.add(1);
+    }
     SdpSolution next = solve_sdp_once(problem, retry_options, budget_sw);
     next.restarts = retry;
     if (next.status == SdpStatus::kConverged ||

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 #include "util/stopwatch.hpp"
 
@@ -104,6 +105,11 @@ class SimplexCore {
       }
       if (leave == m_) return LpStatus::kUnbounded;
       degenerate_streak = (best_ratio <= tol_) ? degenerate_streak + 1 : 0;
+      if (metrics_enabled()) {
+        static Counter& pivots =
+            MetricsRegistry::instance().counter("simplex.pivots");
+        pivots.add(1);
+      }
 
       // Pivot: update basis and basis inverse.
       basis[leave] = enter;
@@ -150,6 +156,11 @@ LpStatus run_phase(const Mat& a, const Vec& b, const Vec& c,
   LpStatus st = core.run(basis, binv, options.max_iterations, &iters);
   *total_iterations += iters;
   if (st == LpStatus::kIterationLimit && options.bland_restart) {
+    if (metrics_enabled()) {
+      static Counter& restarts =
+          MetricsRegistry::instance().counter("simplex.bland_restarts");
+      restarts.add(1);
+    }
     basis = basis0;
     binv = binv0;
     SimplexCore bland(a, b, c, options.tol, &budget_sw,

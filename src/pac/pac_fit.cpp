@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "math/robust_solve.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "opt/minimax_fit.hpp"
 #include "pac/scenario.hpp"
 #include "poly/basis.hpp"
@@ -123,6 +125,7 @@ PacResult pac_approximate(const ScalarFn& fn, const SemialgebraicSet& domain,
     degree_best.error = std::numeric_limits<double>::infinity();
 
     for (double eps : settings.eps_list) {
+      TraceSpan attempt_span("pac.attempt:d" + std::to_string(d));
       Stopwatch sw;
       PacTraceRow row;
       row.degree = d;
@@ -162,6 +165,11 @@ PacResult pac_approximate(const ScalarFn& fn, const SemialgebraicSet& domain,
       // generation and design-matrix evaluation run on all cores while the
       // drawn scenarios stay bitwise-identical at any thread count.
       const std::size_t k_used = static_cast<std::size_t>(row.samples_used);
+      if (metrics_enabled()) {
+        static Counter& drawn =
+            MetricsRegistry::instance().counter("pac.samples_drawn");
+        drawn.add(k_used);
+      }
       std::vector<Rng> streams = rng.fork_streams(
           (k_used + kScenarioChunk - 1) / kScenarioChunk);
       Mat design(k_used, basis.size());
@@ -185,6 +193,11 @@ PacResult pac_approximate(const ScalarFn& fn, const SemialgebraicSet& domain,
       // whole scenario program. Dropping rows weakens the Theorem-3 count,
       // so the effective eps is recomputed from what actually survived.
       row.dropped_samples = drop_nonfinite_samples(design, targets);
+      if (row.dropped_samples > 0 && metrics_enabled()) {
+        static Counter& dropped =
+            MetricsRegistry::instance().counter("pac.samples_dropped");
+        dropped.add(row.dropped_samples);
+      }
       if (row.dropped_samples > 0) {
         const std::uint64_t survived =
             row.samples_used - row.dropped_samples;
@@ -215,6 +228,11 @@ PacResult pac_approximate(const ScalarFn& fn, const SemialgebraicSet& domain,
         fit = least_squares_fallback(design, targets);
         row.degraded = true;
         row.eps = 1.0;
+        if (metrics_enabled()) {
+          static Counter& degraded =
+              MetricsRegistry::instance().counter("pac.degraded_fits");
+          degraded.add(1);
+        }
       }
       row.error = fit.error;
       error_list.push_back(fit.error);

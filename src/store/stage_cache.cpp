@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "obs/metrics.hpp"
 #include "util/hash.hpp"
 #include "util/log.hpp"
 #include "util/stopwatch.hpp"
@@ -14,6 +15,14 @@ const char* kRlKind = "rl";
 const char* kPacKind = "pac";
 const char* kBarrierKind = "barrier";
 const char* kValidationKind = "validation";
+
+/// Mirror per-stage StageCounters events into the process-wide registry
+/// (aggregated across stages and runs; the per-run split stays in
+/// SynthesisResult.cache).
+void count_store_event(const char* which, std::uint64_t n = 1) {
+  if (!metrics_enabled()) return;
+  MetricsRegistry::instance().counter(std::string("store.") + which).add(n);
+}
 
 /// Seed every stage key with the serialization format version and a stage
 /// tag, so a format bump orphans old blobs instead of misreading them and
@@ -106,16 +115,21 @@ std::optional<std::vector<unsigned char>> StageCache::load_payload(
   try {
     std::optional<std::vector<unsigned char>> payload = store_->get(kind, key);
     c.load_seconds += sw.seconds();
-    if (payload.has_value())
+    if (payload.has_value()) {
       ++c.hits;
-    else
+      count_store_event("hits");
+    } else {
       ++c.misses;
+      count_store_event("misses");
+    }
     return payload;
   } catch (const StoreError& e) {
     // Present but unreadable: count as corrupt *and* miss, recompute.
     c.load_seconds += sw.seconds();
     ++c.corrupt;
     ++c.misses;
+    count_store_event("corrupt");
+    count_store_event("misses");
     log_info("store: ", kind, " blob ", hash_to_hex(key),
              " failed verification (", e.what(), "); recomputing");
     return std::nullopt;
@@ -132,6 +146,7 @@ void StageCache::store_payload(const char* kind, std::uint64_t key,
     store_->put(kind, key, benchmark, payload);
     c.store_seconds += sw.seconds();
     ++c.stores;
+    count_store_event("stores");
   } catch (const StoreError& e) {
     c.store_seconds += sw.seconds();
     log_info("store: failed to persist ", kind, " blob ", hash_to_hex(key),
@@ -154,6 +169,8 @@ std::optional<RlStagePayload> StageCache::load_rl(std::uint64_t key,
     ++c.corrupt;
     --c.hits;
     ++c.misses;
+    count_store_event("corrupt");
+    count_store_event("misses");
     log_info("store: rl payload ", hash_to_hex(key), " undecodable (",
              e.what(), "); recomputing");
     return std::nullopt;
@@ -187,6 +204,8 @@ std::optional<PacStagePayload> StageCache::load_pac(std::uint64_t key,
     ++c.corrupt;
     --c.hits;
     ++c.misses;
+    count_store_event("corrupt");
+    count_store_event("misses");
     log_info("store: pac payload ", hash_to_hex(key), " undecodable (",
              e.what(), "); recomputing");
     return std::nullopt;
@@ -221,6 +240,8 @@ std::optional<BarrierStagePayload> StageCache::load_barrier(
     ++c.corrupt;
     --c.hits;
     ++c.misses;
+    count_store_event("corrupt");
+    count_store_event("misses");
     log_info("store: barrier payload ", hash_to_hex(key), " undecodable (",
              e.what(), "); recomputing");
     return std::nullopt;
@@ -252,6 +273,8 @@ std::optional<ValidationStagePayload> StageCache::load_validation(
     ++c.corrupt;
     --c.hits;
     ++c.misses;
+    count_store_event("corrupt");
+    count_store_event("misses");
     log_info("store: validation payload ", hash_to_hex(key), " undecodable (",
              e.what(), "); recomputing");
     return std::nullopt;

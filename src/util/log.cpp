@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 #include <optional>
 
 namespace scs {
@@ -10,6 +11,16 @@ namespace {
 std::optional<LogLevel>& override_level() {
   static std::optional<LogLevel> level;
   return level;
+}
+
+std::string& tls_log_tag() {
+  thread_local std::string tag;
+  return tag;
+}
+
+std::mutex& log_mutex() {
+  static std::mutex mu;
+  return mu;
 }
 
 LogLevel env_level() {
@@ -32,7 +43,31 @@ void set_log_level(LogLevel level) { override_level() = level; }
 
 void log_line(LogLevel level, const std::string& message) {
   if (log_level() < level) return;
-  std::cerr << "[scs] " << message << '\n';
+  // Format the complete line first, then emit it with one locked write:
+  // three separate stream insertions tear under the synthesize_many
+  // fan-out, interleaving fragments of concurrent lines.
+  std::string line = "[scs]";
+  const std::string& tag = tls_log_tag();
+  if (!tag.empty()) {
+    line += '[';
+    line += tag;
+    line += ']';
+  }
+  line += ' ';
+  line += message;
+  line += '\n';
+  std::lock_guard<std::mutex> lk(log_mutex());
+  std::cerr.write(line.data(), static_cast<std::streamsize>(line.size()));
 }
+
+void set_log_tag(std::string tag) { tls_log_tag() = std::move(tag); }
+
+const std::string& log_tag() { return tls_log_tag(); }
+
+LogTagScope::LogTagScope(std::string tag) : prev_(tls_log_tag()) {
+  tls_log_tag() = std::move(tag);
+}
+
+LogTagScope::~LogTagScope() { tls_log_tag() = std::move(prev_); }
 
 }  // namespace scs

@@ -8,6 +8,9 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "util/log.hpp"
+
 namespace scs {
 
 namespace {
@@ -85,6 +88,11 @@ struct ThreadPool::Impl {
       if (!q.tasks.empty()) {
         out = std::move(q.tasks.front());
         q.tasks.pop_front();
+        if (metrics_enabled()) {
+          static Counter& steals =
+              MetricsRegistry::instance().counter("pool.steals");
+          steals.add(1);
+        }
         return true;
       }
     }
@@ -94,6 +102,7 @@ struct ThreadPool::Impl {
   void worker_loop(std::size_t id) {
     tls_pool = this;
     tls_worker_id = id;
+    set_log_tag("w" + std::to_string(id));
     for (;;) {
       std::function<void()> task;
       if (try_pop(id, true, task)) {
@@ -114,7 +123,15 @@ struct ThreadPool::Impl {
       task();
       return;
     }
-    queued.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t depth = queued.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (metrics_enabled()) {
+      static Counter& submitted =
+          MetricsRegistry::instance().counter("pool.tasks_submitted");
+      static Gauge& queue_depth =
+          MetricsRegistry::instance().gauge("pool.queue_depth");
+      submitted.add(1);
+      queue_depth.set(static_cast<std::int64_t>(depth));
+    }
     if (tls_pool == this) {
       WorkerQueue& q = *local[tls_worker_id];
       std::lock_guard<std::mutex> lk(q.mu);
