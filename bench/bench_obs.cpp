@@ -16,6 +16,7 @@
 
 #include "core/pipeline.hpp"
 #include "obs/json_writer.hpp"
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/stopwatch.hpp"
@@ -217,6 +218,9 @@ int main() {
   w.end_object();
   std::ofstream("BENCH_obs.json") << w.str() << "\n";
   std::cout << "wrote BENCH_obs.json\n";
+  if (ledger_append_bench("bench_obs", w.str()))
+    std::cout << "ledger record appended to " << resolve_ledger_path("")
+              << "\n";
 
   (void)sink;
   if (!deterministic) {

@@ -17,6 +17,7 @@
 
 #include "barrier/mc_safety.hpp"
 #include "math/mat.hpp"
+#include "obs/ledger.hpp"
 #include "opt/sdp.hpp"
 #include "pac/pac_fit.hpp"
 #include "systems/benchmarks.hpp"
@@ -182,6 +183,9 @@ int main() {
   json << "]}";
   std::ofstream("BENCH_parallel.json") << json.str() << "\n";
   std::cout << "wrote BENCH_parallel.json\n";
+  if (ledger_append_bench("bench_parallel", json.str()))
+    std::cout << "ledger record appended to " << resolve_ledger_path("")
+              << "\n";
   if (!all_identical) {
     std::cout << "ERROR: thread-count-dependent output detected\n";
     return 1;

@@ -4,7 +4,11 @@
 // polynomial kernels they are built on.
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+
 #include "math/mat.hpp"
+#include "obs/json_writer.hpp"
+#include "obs/ledger.hpp"
 #include "opt/minimax_fit.hpp"
 #include "opt/sdp.hpp"
 #include "poly/basis.hpp"
@@ -200,4 +204,20 @@ BENCHMARK(BM_LieDerivative)->DenseRange(2, 9);
 }  // namespace
 }  // namespace scs
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so harness completion lands in the run ledger
+// (SCS_LEDGER) alongside the pipeline records; google-benchmark's own JSON
+// output (--benchmark_out) stays the detailed per-benchmark artifact.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  const std::size_t ran = benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  scs::JsonWriter w;
+  w.begin_object();
+  w.key("benchmarks_run").value(static_cast<std::uint64_t>(ran));
+  w.end_object();
+  if (scs::ledger_append_bench("bench_solvers", w.str()))
+    std::cout << "ledger record appended to " << scs::resolve_ledger_path("")
+              << "\n";
+  return 0;
+}

@@ -12,6 +12,7 @@
 
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
+#include "obs/ledger.hpp"
 #include "store/serialize.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
@@ -165,6 +166,9 @@ int main() {
   json << "]}";
   std::ofstream("BENCH_store.json") << json.str() << "\n";
   std::cout << "wrote BENCH_store.json\n";
+  if (ledger_append_bench("bench_store", json.str()))
+    std::cout << "ledger record appended to " << resolve_ledger_path("")
+              << "\n";
 
   fs::remove_all(cache_dir, ec);
   if (!rl_warm_hit || !identical) {

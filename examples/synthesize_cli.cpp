@@ -12,6 +12,9 @@
 //   --trace <file>      export a Chrome trace-event timeline of the run
 //                       (open in chrome://tracing or ui.perfetto.dev)
 //   --metrics <file>    dump the solver/store/pool metrics registry as JSON
+//   --ledger <file>     append this run's record to a JSONL run ledger
+//                       (see src/obs/ledger.hpp; SCS_LEDGER is the env
+//                       equivalent, report_cli the consumer)
 //   --fast              shrunken budgets (smoke tests / CI)
 #include <cstdlib>
 #include <cstring>
@@ -54,7 +57,8 @@ int run_load(const char* path) {
 void print_usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--cache-dir <dir>] [--no-cache] [--trace <file>]\n"
-            << "       [--metrics <file>] [--fast] <C1..C10> <output-file> "
+            << "       [--metrics <file>] [--ledger <file>] [--fast] "
+            << "<C1..C10> <output-file> "
             << "[episodes]\n       " << argv0 << " --load <file>\n";
 }
 
@@ -92,6 +96,12 @@ int main(int argc, char** argv) {
         return 2;
       }
       obs.metrics_path = argv[++i];
+    } else if (arg == "--ledger") {
+      if (i + 1 >= argc) {
+        std::cerr << "--ledger needs a file argument\n";
+        return 2;
+      }
+      obs.ledger_path = argv[++i];
     } else if (arg == "--fast") {
       fast = true;
     } else {
@@ -122,6 +132,8 @@ int main(int argc, char** argv) {
       std::cout << "trace written to " << obs.trace_path << "\n";
     if (!obs.metrics_path.empty())
       std::cout << "metrics written to " << obs.metrics_path << "\n";
+    if (!obs.ledger_path.empty())
+      std::cout << "ledger record appended to " << obs.ledger_path << "\n";
     if (!result.success) {
       std::cerr << "synthesis failed at stage '" << result.failure_stage
                 << "': " << result.barrier.failure_reason << "\n";

@@ -14,6 +14,10 @@
 #   scripts/ci.sh obs        # observability + report-JSON tests under tsan,
 #                            # then a traced synthesize_cli smoke whose
 #                            # trace/metrics output must parse as JSON
+#   scripts/ci.sh perf       # regression gate: fresh C1 ledger + bench_obs
+#                            # + bench_solvers vs baselines/*.json via
+#                            # report_cli, plus a negative check that a
+#                            # violated baseline exits nonzero
 #
 # Label shortcuts (run from any built tree): ctest -L property|fault|golden|store.
 set -euo pipefail
@@ -99,6 +103,57 @@ run_obs() {
   rm -rf "${tmp}"
 }
 
+run_perf() {
+  echo "==> Perf regression gate (run ledger + baselines + Table-2 dashboard)"
+  cmake --preset default
+  cmake --build --preset default -j "${JOBS}" \
+      --target synthesize_cli report_cli bench_obs bench_solvers
+  local tmp rc
+  tmp="$(mktemp -d)"
+
+  # Fresh ledger from a fast C1 synthesis. Exit 1 (= UNVERIFIED on the
+  # shrunken fast budget) is tolerated -- the gate checks the recorded PAC
+  # facts and timings, never the fast-mode verdict. Exit 2+ still fails.
+  rc=0
+  ./build/examples/synthesize_cli --fast --no-cache \
+      --ledger "${tmp}/ledger.jsonl" C1 "${tmp}/out.txt" 5 || rc=$?
+  if [ "${rc}" -gt 1 ]; then
+    echo "synthesize_cli exited with ${rc}" >&2; exit "${rc}"
+  fi
+
+  # bench_obs writes BENCH_obs.json into its cwd and self-checks traced
+  # determinism; bench_solvers emits google-benchmark JSON for a small,
+  # stable subset (full sweeps stay in the manual bench workflow).
+  (cd "${tmp}" && "${OLDPWD}/build/bench/bench_obs")
+  ./build/bench/bench_solvers \
+      --benchmark_filter='BM_Matmul/64/100$|BM_MinimaxFit_SamplesSweep/1000$' \
+      --benchmark_format=json \
+      --benchmark_out="${tmp}/BENCH_solvers.json" \
+      --benchmark_out_format=json > /dev/null
+
+  ./build/examples/report_cli \
+      --ledger "${tmp}/ledger.jsonl" \
+      --bench bench_obs="${tmp}/BENCH_obs.json" \
+      --bench bench_solvers="${tmp}/BENCH_solvers.json" \
+      --baseline baselines/bench_obs.json \
+      --baseline baselines/bench_solvers.json \
+      --baseline baselines/table2_fast.json \
+      --markdown "${tmp}/report.md" --json "${tmp}/report.json"
+  grep -q 'Table 2 reproduction dashboard' "${tmp}/report.md" || {
+    echo "report.md is missing the Table-2 dashboard" >&2; exit 1; }
+
+  echo "==> Negative check: a violated baseline must exit nonzero"
+  printf '%s\n' \
+    '{"schema":1,"name":"tampered","metrics":{' \
+    ' "C1.total_seconds":{"kind":"timing","value":1e-9,"rel_tol":0.0}}}' \
+    > "${tmp}/tampered.json"
+  if ./build/examples/report_cli --ledger "${tmp}/ledger.jsonl" \
+      --no-dashboard --baseline "${tmp}/tampered.json" > /dev/null; then
+    echo "report_cli passed a deliberately violated baseline" >&2; exit 1
+  fi
+  rm -rf "${tmp}"
+}
+
 case "${1:-all}" in
   release) run_release ;;
   asan)    run_asan ;;
@@ -106,8 +161,9 @@ case "${1:-all}" in
   fault)   run_fault ;;
   store)   run_store ;;
   obs)     run_obs ;;
-  all)     run_release; run_asan; run_ubsan; run_store; run_obs ;;
-  *) echo "unknown configuration: $1 (want release|asan|ubsan|fault|store|obs|all)" >&2
+  perf)    run_perf ;;
+  all)     run_release; run_asan; run_ubsan; run_store; run_obs; run_perf ;;
+  *) echo "unknown configuration: $1 (want release|asan|ubsan|fault|store|obs|perf|all)" >&2
      exit 2 ;;
 esac
 

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 
+#include "core/report.hpp"
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
+#include "util/hash.hpp"
 #include "util/log.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
@@ -38,6 +41,19 @@ class ObsRunScope {
 std::string metrics_snapshot_or_empty() {
   if (!metrics_enabled()) return {};
   return MetricsRegistry::instance().json();
+}
+
+/// Append the run's ledger record when a ledger is armed (config or
+/// SCS_LEDGER). Observation only, after every numeric field is final; an
+/// I/O failure is logged and never fails the run.
+void append_ledger(const SynthesisResult& result, std::uint64_t config_key,
+                   std::uint64_t seed, const char* source,
+                   const ObsConfig& obs) {
+  const std::string path = resolve_ledger_path(obs.ledger_path);
+  if (path.empty()) return;
+  if (!ledger_append(path, ledger_record(result, config_key, seed, source)))
+    log_info("pipeline[", result.benchmark, "]: ledger append to '", path,
+             "' failed");
 }
 
 /// Apply fast-mode shrinkage for unit tests.
@@ -292,10 +308,10 @@ SynthesisResult synthesize(const Benchmark& benchmark,
   // (benchmark content, config slice, seed, format version) key.
   StageCache cache(cfg.store);
   result.cache.enabled = cache.enabled();
-  std::uint64_t rl_key = 0;
-  if (cache.enabled())
-    rl_key = rl_stage_key(benchmark, cfg.seed, cfg.ddpg, cfg.env, episodes,
-                          cfg.eval_episodes);
+  // Computed whether or not the cache is on: the RL stage key doubles as
+  // the run's configuration identity (config_key) in the ledger.
+  const std::uint64_t rl_key = rl_stage_key(
+      benchmark, cfg.seed, cfg.ddpg, cfg.env, episodes, cfg.eval_episodes);
 
   TraceSpan rl_span("stage.rl");
   Stopwatch rl_sw;
@@ -346,6 +362,7 @@ SynthesisResult synthesize(const Benchmark& benchmark,
   }
   result.total_seconds = total_sw.seconds();
   result.metrics_json = metrics_snapshot_or_empty();
+  append_ledger(result, rl_key, cfg.seed, "synthesize", cfg.obs);
   return result;
 }
 
@@ -363,6 +380,12 @@ SynthesisResult synthesize_from_law(const Benchmark& benchmark,
   result = run_stages_2_to_4(benchmark, law, config, std::move(result));
   result.total_seconds = total_sw.seconds();
   result.metrics_json = metrics_snapshot_or_empty();
+  // No RL stage here; the identity key folds the benchmark content + seed.
+  Fnv1a identity;
+  hash_append(identity, benchmark);
+  hash_append(identity, config.seed);
+  append_ledger(result, identity.digest(), config.seed, "synthesize_from_law",
+                config.obs);
   return result;
 }
 

@@ -30,6 +30,9 @@ struct ObsConfig {
   std::string trace_path;
   /// Non-empty: enable the metrics registry and dump it as JSON here.
   std::string metrics_path;
+  /// Non-empty: append one run-ledger record (obs/ledger.hpp) here when
+  /// the run finishes. Env SCS_LEDGER is the fallback when empty.
+  std::string ledger_path;
 };
 
 struct PipelineConfig {

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "obs/json_writer.hpp"
+#include "util/hash.hpp"
 #include "util/thread_pool.hpp"
 
 namespace scs {
@@ -137,6 +138,37 @@ std::string cache_stats_json(const CacheStats& stats) {
   append_stage_counters(w, "validation", stats.validation);
   w.end_object();
   return w.str();
+}
+
+LedgerRecord ledger_record(const SynthesisResult& result,
+                           std::uint64_t config_key, std::uint64_t seed,
+                           const std::string& source) {
+  LedgerRecord r;
+  r.kind = "synthesis";
+  r.source = source;
+  r.config_key = hash_to_hex(config_key);
+  r.seed = seed;
+  r.threads = result.threads_used > 0 ? result.threads_used
+                                      : static_cast<int>(parallel_threads());
+  r.benchmark = result.benchmark;
+  r.verdict = result.verdict;
+  r.failure_stage = result.failure_stage;
+  const PacModel& m = result.pac.model;
+  r.pac_valid = m.pac_valid;
+  r.pac_eps = m.eps;
+  r.pac_error = m.error;
+  r.pac_degree = m.degree;
+  r.pac_samples = m.samples;
+  // 0 = no certificate; the verdict field already says why.
+  r.barrier_degree = result.barrier.success ? result.barrier.degree : 0;
+  r.rl_seconds = result.rl_seconds;
+  r.pac_seconds = result.pac_seconds;
+  r.barrier_seconds = result.barrier_seconds;
+  r.validation_seconds = result.validation_seconds;
+  r.total_seconds = result.total_seconds;
+  r.json_dropped = json_nonfinite_dropped();
+  r.metrics_json = result.metrics_json;
+  return r;
 }
 
 }  // namespace scs

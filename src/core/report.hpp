@@ -6,6 +6,7 @@
 
 #include "baseline/nncontroller.hpp"
 #include "core/pipeline.hpp"
+#include "obs/ledger.hpp"
 
 namespace scs {
 
@@ -35,5 +36,15 @@ std::string stage_timings_json(const SynthesisResult& result);
 /// Artifact-store telemetry for one run as a JSON object: enabled flag plus
 /// per-stage {hits, misses, stores, corrupt, load_seconds, store_seconds}.
 std::string cache_stats_json(const CacheStats& stats);
+
+/// Convert a finished pipeline run into its run-ledger record: identity
+/// from the RL stage-cache key (rendered hex, see src/store/stage_cache)
+/// plus the seed; payload from the result's verdict, PAC model, stage
+/// timings, and metrics snapshot. ledger_append fills run_id /
+/// timestamp_ms / git_head. Lives here (not in scs_obs) so the ledger
+/// stays a plain data layer with no dependency on pipeline types.
+LedgerRecord ledger_record(const SynthesisResult& result,
+                           std::uint64_t config_key, std::uint64_t seed,
+                           const std::string& source);
 
 }  // namespace scs

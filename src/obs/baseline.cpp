@@ -1,0 +1,348 @@
+#include "obs/baseline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json_writer.hpp"
+
+namespace scs {
+
+namespace {
+
+[[noreturn]] void bad_baseline(const std::string& why) {
+  throw JsonParseError("baseline: " + why, 0);
+}
+
+bool is_scalar(const JsonValue& v) {
+  return v.is_null() || v.is_bool() || v.is_number() || v.is_string();
+}
+
+std::string scalar_repr(const JsonValue& v) {
+  switch (v.type) {
+    case JsonValue::Type::kNull: return "null";
+    case JsonValue::Type::kBool: return v.boolean ? "true" : "false";
+    case JsonValue::Type::kNumber: return json_number(v.number);
+    case JsonValue::Type::kString: return v.string;
+    default: return "<non-scalar>";
+  }
+}
+
+bool scalar_equal(const JsonValue& a, const JsonValue& b) {
+  if (a.type != b.type) return false;
+  switch (a.type) {
+    case JsonValue::Type::kNull: return true;
+    case JsonValue::Type::kBool: return a.boolean == b.boolean;
+    case JsonValue::Type::kNumber: return a.number == b.number;
+    case JsonValue::Type::kString: return a.string == b.string;
+    default: return false;
+  }
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return (n % 2 == 1) ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+/// Numeric view of the samples; non-numbers are skipped (a verdict string
+/// showing up under a timing key should read as "no numeric sample", and
+/// the check then fails as missing rather than crashing).
+std::vector<double> numeric_samples(const std::vector<JsonValue>& samples) {
+  std::vector<double> out;
+  for (const JsonValue& s : samples)
+    if (s.is_number() && std::isfinite(s.number)) out.push_back(s.number);
+  return out;
+}
+
+}  // namespace
+
+const char* check_status_name(CheckStatus s) {
+  switch (s) {
+    case CheckStatus::kPass: return "PASS";
+    case CheckStatus::kImproved: return "IMPROVED";
+    case CheckStatus::kRegressed: return "REGRESSED";
+    case CheckStatus::kMissingCurrent: return "MISSING";
+  }
+  return "UNKNOWN";
+}
+
+BaselineFile baseline_parse(std::string_view text) {
+  const JsonValue doc = json_parse(text);
+  if (!doc.is_object()) bad_baseline("document is not an object");
+  BaselineFile file;
+  const JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_number())
+    bad_baseline("missing schema field");
+  file.schema = static_cast<int>(schema->int_or(0));
+  if (file.schema != kBaselineSchemaVersion)
+    bad_baseline("unsupported schema version " + std::to_string(file.schema));
+  if (const JsonValue* name = doc.find("name"); name != nullptr)
+    file.name = name->string_or("");
+  const JsonValue* metrics = doc.find("metrics");
+  if (metrics == nullptr || !metrics->is_object())
+    bad_baseline("missing metrics object");
+  for (const auto& [key, spec] : metrics->members) {
+    if (!spec.is_object()) bad_baseline("check '" + key + "' is not an object");
+    BaselineCheck check;
+    check.key = key;
+    const JsonValue* kind = spec.find("kind");
+    if (kind == nullptr || !kind->is_string())
+      bad_baseline("check '" + key + "' has no kind");
+    check.kind = kind->string;
+    if (check.kind != "exact" && check.kind != "max" && check.kind != "min" &&
+        check.kind != "timing")
+      bad_baseline("check '" + key + "' has unknown kind '" + check.kind +
+                   "'");
+    const JsonValue* value = spec.find("value");
+    if (value == nullptr || !is_scalar(*value))
+      bad_baseline("check '" + key + "' has no scalar value");
+    check.expect = *value;
+    if (check.kind != "exact" && !check.expect.is_number())
+      bad_baseline("check '" + key + "': kind '" + check.kind +
+                   "' needs a numeric value");
+    if (const JsonValue* tol = spec.find("rel_tol"); tol != nullptr) {
+      if (!tol->is_number() || tol->number < 0.0)
+        bad_baseline("check '" + key + "' has invalid rel_tol");
+      check.rel_tol = tol->number;
+    }
+    file.checks.push_back(std::move(check));
+  }
+  return file;
+}
+
+BaselineFile baseline_load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw JsonParseError("cannot open baseline file '" + path + "'", 0);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  BaselineFile file = baseline_parse(buf.str());
+  if (file.name.empty()) file.name = path;
+  return file;
+}
+
+void MetricSamples::add(const std::string& key, JsonValue scalar) {
+  samples_[key].push_back(std::move(scalar));
+}
+
+const std::vector<JsonValue>* MetricSamples::find(
+    const std::string& key) const {
+  const auto it = samples_.find(key);
+  return it != samples_.end() ? &it->second : nullptr;
+}
+
+namespace {
+
+void flatten_into(MetricSamples& out, const std::string& prefix,
+                  const JsonValue& v) {
+  switch (v.type) {
+    case JsonValue::Type::kObject:
+      for (const auto& [k, member] : v.members)
+        flatten_into(out, prefix.empty() ? k : prefix + "." + k, member);
+      break;
+    case JsonValue::Type::kArray:
+      for (std::size_t i = 0; i < v.items.size(); ++i)
+        flatten_into(out, prefix + "." + std::to_string(i), v.items[i]);
+      break;
+    default:
+      out.add(prefix, v);
+  }
+}
+
+}  // namespace
+
+void MetricSamples::add_flattened(const std::string& prefix,
+                                  const JsonValue& doc) {
+  // google-benchmark output: {"context": {...}, "benchmarks": [{"name":
+  // "BM_Matmul/64/100", "real_time": ..., ...}, ...]}. Key rows by the
+  // benchmark's own name instead of its array index so a reordered or
+  // extended suite still matches the checked-in keys.
+  const JsonValue* benchmarks = doc.find("benchmarks");
+  if (benchmarks != nullptr && benchmarks->is_array()) {
+    for (const JsonValue& row : benchmarks->items) {
+      const JsonValue* name = row.find("name");
+      if (name == nullptr || !name->is_string()) continue;
+      for (const auto& [k, member] : row.members) {
+        if (k == "name") continue;
+        if (is_scalar(member))
+          add(prefix + "." + name->string + "." + k, member);
+      }
+    }
+    return;
+  }
+  flatten_into(*this, prefix, doc);
+}
+
+BaselineReport baseline_compare(const BaselineFile& baseline,
+                                const MetricSamples& current) {
+  BaselineReport report;
+  report.name = baseline.name;
+  for (const BaselineCheck& check : baseline.checks) {
+    CheckResult row;
+    row.key = check.key;
+    row.kind = check.kind;
+    row.baseline_repr = scalar_repr(check.expect);
+    if (check.kind == "timing")
+      row.baseline_repr += " (rel_tol " + json_number(check.rel_tol, 4) + ")";
+
+    const std::vector<JsonValue>* samples = current.find(check.key);
+    if (samples == nullptr || samples->empty()) {
+      row.status = CheckStatus::kMissingCurrent;
+      row.current_repr = "-";
+      row.detail = "no current sample for gated metric";
+      ++report.missing;
+      report.rows.push_back(std::move(row));
+      continue;
+    }
+
+    if (check.kind == "exact") {
+      const auto mismatch =
+          std::find_if(samples->begin(), samples->end(),
+                       [&](const JsonValue& s) {
+                         return !scalar_equal(s, check.expect);
+                       });
+      if (mismatch == samples->end()) {
+        row.status = CheckStatus::kPass;
+        row.current_repr = scalar_repr(samples->front());
+      } else {
+        row.status = CheckStatus::kRegressed;
+        row.current_repr = scalar_repr(*mismatch);
+        row.detail = "expected " + row.baseline_repr + ", observed " +
+                     row.current_repr;
+        ++report.regressed;
+      }
+      report.rows.push_back(std::move(row));
+      continue;
+    }
+
+    const std::vector<double> nums = numeric_samples(*samples);
+    if (nums.empty()) {
+      row.status = CheckStatus::kMissingCurrent;
+      row.current_repr = scalar_repr(samples->front());
+      row.detail = "no numeric sample for numeric check";
+      ++report.missing;
+      report.rows.push_back(std::move(row));
+      continue;
+    }
+
+    if (check.kind == "max" || check.kind == "min") {
+      // Worst sample must satisfy the bound: a single epsilon excursion in
+      // a median-of-N batch is still a PAC-statement violation.
+      const double worst = check.kind == "max"
+                               ? *std::max_element(nums.begin(), nums.end())
+                               : *std::min_element(nums.begin(), nums.end());
+      const bool ok = check.kind == "max" ? worst <= check.expect.number
+                                          : worst >= check.expect.number;
+      row.current_repr = json_number(worst);
+      if (ok) {
+        row.status = CheckStatus::kPass;
+      } else {
+        row.status = CheckStatus::kRegressed;
+        row.detail = std::string("bound ") +
+                     (check.kind == "max" ? "<= " : ">= ") +
+                     scalar_repr(check.expect) + " violated by " +
+                     row.current_repr;
+        ++report.regressed;
+      }
+      report.rows.push_back(std::move(row));
+      continue;
+    }
+
+    // kind == "timing": median-of-N against a relative band.
+    const double med = median(nums);
+    const double base = check.expect.number;
+    const double limit = base * (1.0 + check.rel_tol);
+    row.current_repr = json_number(med, 6) + " (n=" +
+                       std::to_string(nums.size()) + ")";
+    row.delta_pct = base > 0.0 ? (med - base) / base * 100.0 : 0.0;
+    if (med <= limit) {
+      row.status = med < base ? CheckStatus::kImproved : CheckStatus::kPass;
+    } else {
+      row.status = CheckStatus::kRegressed;
+      row.detail = "median " + json_number(med, 6) + " exceeds " +
+                   json_number(limit, 6) + " (baseline " +
+                   json_number(base, 6) + " +" +
+                   json_number(check.rel_tol * 100.0, 4) + "%)";
+      ++report.regressed;
+    }
+    report.rows.push_back(std::move(row));
+  }
+  return report;
+}
+
+std::string baseline_report_markdown(
+    const std::vector<BaselineReport>& reports) {
+  std::ostringstream os;
+  os << "# Baseline regression report\n\n";
+  int failures = 0;
+  for (const BaselineReport& r : reports)
+    failures += r.regressed + r.missing;
+  os << (failures == 0 ? "**GATE PASSED**" : "**GATE FAILED**") << " — "
+     << failures << " failing check(s) across " << reports.size()
+     << " baseline file(s).\n";
+  for (const BaselineReport& r : reports) {
+    os << "\n## " << (r.name.empty() ? "(unnamed)" : r.name) << " — "
+       << (r.passed() ? "passed" : "FAILED") << "\n\n";
+    os << "| status | metric | kind | baseline | current | delta | note |\n";
+    os << "|---|---|---|---|---|---|---|\n";
+    // Failures first so a long table leads with what matters.
+    std::vector<const CheckResult*> ordered;
+    for (const CheckResult& row : r.rows)
+      if (row.status == CheckStatus::kRegressed ||
+          row.status == CheckStatus::kMissingCurrent)
+        ordered.push_back(&row);
+    for (const CheckResult& row : r.rows)
+      if (row.status == CheckStatus::kPass ||
+          row.status == CheckStatus::kImproved)
+        ordered.push_back(&row);
+    for (const CheckResult* row : ordered) {
+      std::string delta;
+      if (row->kind == "timing")
+        delta = (row->delta_pct >= 0 ? "+" : "") +
+                json_number(row->delta_pct, 3) + "%";
+      os << "| " << check_status_name(row->status) << " | " << row->key
+         << " | " << row->kind << " | " << row->baseline_repr << " | "
+         << row->current_repr << " | " << delta << " | " << row->detail
+         << " |\n";
+    }
+  }
+  return os.str();
+}
+
+std::string baseline_report_json(const std::vector<BaselineReport>& reports) {
+  JsonWriter w;
+  w.begin_object();
+  int failures = 0;
+  for (const BaselineReport& r : reports)
+    failures += r.regressed + r.missing;
+  w.key("passed").value(failures == 0);
+  w.key("failing_checks").value(failures);
+  w.key("baselines").begin_array();
+  for (const BaselineReport& r : reports) {
+    w.begin_object();
+    w.key("name").value(r.name);
+    w.key("passed").value(r.passed());
+    w.key("regressed").value(r.regressed);
+    w.key("missing").value(r.missing);
+    w.key("checks").begin_array();
+    for (const CheckResult& row : r.rows) {
+      w.begin_object();
+      w.key("key").value(row.key);
+      w.key("kind").value(row.kind);
+      w.key("status").value(check_status_name(row.status));
+      w.key("baseline").value(row.baseline_repr);
+      w.key("current").value(row.current_repr);
+      if (row.kind == "timing") w.key("delta_pct").value(row.delta_pct, 4);
+      if (!row.detail.empty()) w.key("detail").value(row.detail);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace scs

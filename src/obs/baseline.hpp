@@ -1,0 +1,132 @@
+// Baseline regression gate: compare the current run's metrics (ledger
+// records, BENCH_*.json blobs, google-benchmark output) against checked-in
+// baselines/*.json with per-metric tolerance bands.
+//
+// A baseline file is a flat map of metric key -> check:
+//
+//   {
+//     "schema": 1,
+//     "name": "bench_obs",
+//     "metrics": {
+//       "bench_obs.traced_thread_determinism": {"kind": "exact",
+//                                               "value": true},
+//       "bench_obs.disabled_overhead_pct":     {"kind": "max",
+//                                               "value": 5.0},
+//       "C1.total_seconds": {"kind": "timing", "value": 9.0,
+//                            "rel_tol": 3.0}
+//     }
+//   }
+//
+// Check kinds:
+//   "exact"  -- every current sample must equal value (verdict strings,
+//               determinism booleans, structural integers). Exact for
+//               verdicts/eps bounds per the Table-2 gate.
+//   "max"    -- worst (largest) current sample must be <= value
+//               (PAC epsilon bounds, overhead percentages).
+//   "min"    -- worst (smallest) current sample must be >= value
+//               (success counts, sample floors).
+//   "timing" -- median of the current samples must be <=
+//               value * (1 + rel_tol). Relative, median-of-N: timings are
+//               noisy, so one slow outlier does not gate, and a faster run
+//               reports kImproved instead of failing.
+//
+// A baseline key with no current sample is kMissingCurrent and FAILS the
+// gate: a benchmark silently dropping out of the bench suite must not
+// read as a pass. Current metrics with no baseline entry are ignored
+// (adding instrumentation never breaks the gate).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json_reader.hpp"
+
+namespace scs {
+
+inline constexpr int kBaselineSchemaVersion = 1;
+
+struct BaselineCheck {
+  std::string key;
+  std::string kind;  // "exact" | "max" | "min" | "timing"
+  JsonValue expect;  // scalar
+  double rel_tol = 0.0;  // timing only: allowed relative slowdown
+};
+
+struct BaselineFile {
+  int schema = kBaselineSchemaVersion;
+  std::string name;
+  std::vector<BaselineCheck> checks;
+};
+
+/// Parse a baseline document. Throws JsonParseError on malformed JSON or
+/// a structurally invalid / version-skewed baseline (a bad gate definition
+/// must fail loudly, not soft-pass).
+BaselineFile baseline_parse(std::string_view text);
+
+/// Load + parse a baseline file; throws JsonParseError (missing file
+/// included -- a named gate that cannot load is a gate failure).
+BaselineFile baseline_load_file(const std::string& path);
+
+/// Current metric samples, keyed by dotted metric name. Multiple samples
+/// per key (several ledger records of the same benchmark) feed the
+/// median-of-N timing comparison and worst-case max/min checks.
+class MetricSamples {
+ public:
+  void add(const std::string& key, JsonValue scalar);
+  const std::vector<JsonValue>* find(const std::string& key) const;
+  std::size_t size() const { return samples_.size(); }
+  const std::map<std::string, std::vector<JsonValue>>& all() const {
+    return samples_;
+  }
+
+  /// Flatten a parsed JSON document into dotted keys under `prefix`:
+  /// objects recurse ("a.b.c"), arrays index ("a.0"), scalars land as
+  /// samples. google-benchmark documents (top-level "benchmarks" array)
+  /// flatten as "<prefix>.<benchmark name>.<field>" instead.
+  void add_flattened(const std::string& prefix, const JsonValue& doc);
+
+ private:
+  std::map<std::string, std::vector<JsonValue>> samples_;
+};
+
+enum class CheckStatus {
+  kPass,
+  kImproved,        // timing: median below baseline
+  kRegressed,       // tolerance band or exact/bound check violated
+  kMissingCurrent,  // baseline key absent from the current metrics
+};
+
+const char* check_status_name(CheckStatus s);
+
+struct CheckResult {
+  std::string key;
+  std::string kind;
+  CheckStatus status = CheckStatus::kPass;
+  std::string baseline_repr;  // human-readable expectation
+  std::string current_repr;   // human-readable observation
+  /// Timing checks: (median - baseline) / baseline * 100 (0 otherwise).
+  double delta_pct = 0.0;
+  std::string detail;  // one-line explanation for failures
+};
+
+struct BaselineReport {
+  std::string name;
+  std::vector<CheckResult> rows;
+  int regressed = 0;
+  int missing = 0;
+  bool passed() const { return regressed == 0 && missing == 0; }
+};
+
+/// Evaluate every check in `baseline` against `current`.
+BaselineReport baseline_compare(const BaselineFile& baseline,
+                                const MetricSamples& current);
+
+/// Markdown delta report over one or more gate evaluations (one table per
+/// baseline file, failures listed first).
+std::string baseline_report_markdown(const std::vector<BaselineReport>& reports);
+
+/// The same content as a JSON document (machine-readable CI artifact).
+std::string baseline_report_json(const std::vector<BaselineReport>& reports);
+
+}  // namespace scs

@@ -1,11 +1,26 @@
 #include "obs/json_writer.hpp"
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <limits>
 #include <sstream>
 
 namespace scs {
+
+namespace {
+// See json_nonfinite_dropped() in the header for why this is a file-local
+// atomic rather than a MetricsRegistry counter.
+std::atomic<std::uint64_t> g_nonfinite_dropped{0};
+}  // namespace
+
+std::uint64_t json_nonfinite_dropped() {
+  return g_nonfinite_dropped.load(std::memory_order_relaxed);
+}
+
+void json_nonfinite_dropped_reset_for_tests() {
+  g_nonfinite_dropped.store(0, std::memory_order_relaxed);
+}
 
 std::string json_escape(std::string_view s) {
   std::string out;
@@ -47,7 +62,10 @@ std::string json_escape(std::string_view s) {
 }
 
 std::string json_number(double v, int precision) {
-  if (!std::isfinite(v)) return "null";
+  if (!std::isfinite(v)) {
+    g_nonfinite_dropped.fetch_add(1, std::memory_order_relaxed);
+    return "null";
+  }
   std::ostringstream os;
   if (precision > 0)
     os.precision(precision);

@@ -22,9 +22,20 @@ namespace scs {
 std::string json_escape(std::string_view s);
 
 /// Format a double as a JSON number: finite values round-trip via
-/// max_digits10; NaN/Inf (not representable in JSON) become null.
+/// max_digits10; NaN/Inf (not representable in JSON) become null and bump
+/// the process-wide json_nonfinite_dropped() counter.
 /// `precision` <= 0 means shortest round-trip.
 std::string json_number(double v, int precision = 0);
+
+/// Process-wide count of non-finite doubles that json_number turned into
+/// null. A nonzero value in a ledger record flags that some emitted metric
+/// was NaN/Inf at the source. Kept as a plain atomic here (not a
+/// MetricsRegistry counter) so the registry's own serialization can drop a
+/// non-finite value without re-entering its lock.
+std::uint64_t json_nonfinite_dropped();
+
+/// Reset the dropped-value counter (tests only).
+void json_nonfinite_dropped_reset_for_tests();
 
 /// Streaming JSON builder with automatic comma placement. Usage:
 ///

@@ -21,6 +21,27 @@ struct MetricsRegistry::Impl {
   std::map<std::string, std::unique_ptr<Histogram>> histograms;
 };
 
+std::uint64_t Histogram::quantile_upper(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // ceil(q * n) with a floor of 1: the q-quantile rank among n samples.
+  std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(n));
+  if (static_cast<double>(rank) < q * static_cast<double>(n)) ++rank;
+  if (rank == 0) rank = 1;
+  const std::uint64_t mx = max();
+  std::uint64_t cum = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    cum += bucket_count(b);
+    if (cum >= rank) {
+      if (b == kBuckets - 1) return mx;  // unbounded tail: max is the bound
+      return std::min(bucket_bound(b), mx);
+    }
+  }
+  return mx;  // racing observes: fall back to the tracked max
+}
+
 MetricsRegistry::Impl& MetricsRegistry::impl() const {
   static Impl* impl = new Impl;  // leaked: usable from atexit handlers
   return *impl;
@@ -77,6 +98,12 @@ std::string MetricsRegistry::json() const {
     w.key("count").value(h->count());
     w.key("sum").value(h->sum());
     w.key("max").value(h->max());
+    // Derived quantile estimates (bucket upper bounds, clamped to max) so
+    // ledger/baseline consumers get p50/p90/p99 without re-deriving them
+    // from the raw buckets -- which stay alongside for exact analysis.
+    w.key("p50").value(h->quantile_upper(0.50));
+    w.key("p90").value(h->quantile_upper(0.90));
+    w.key("p99").value(h->quantile_upper(0.99));
     w.key("buckets").begin_array();
     for (int b = 0; b < Histogram::kBuckets; ++b) {
       const std::uint64_t n = h->bucket_count(b);

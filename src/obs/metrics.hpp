@@ -93,6 +93,12 @@ class Histogram {
   static std::uint64_t bucket_bound(int b) {
     return std::uint64_t{1} << b;
   }
+  /// Upper-bound estimate of the q-quantile (q in [0,1]) from the bucket
+  /// counts: the bound of the first bucket whose cumulative count reaches
+  /// ceil(q * count), clamped to the exact tracked max (so p99 never
+  /// reports above an observed value). 0 when the histogram is empty.
+  /// Approximate under concurrent observes, like every other read here.
+  std::uint64_t quantile_upper(double q) const;
   void reset() {
     for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
     count_.store(0, std::memory_order_relaxed);

@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/hash.hpp"
 #include "util/log.hpp"
 #include "util/stopwatch.hpp"
@@ -22,6 +23,14 @@ const char* kValidationKind = "validation";
 void count_store_event(const char* which, std::uint64_t n = 1) {
   if (!metrics_enabled()) return;
   MetricsRegistry::instance().counter(std::string("store.") + which).add(n);
+}
+
+/// Drop an instant marker on the trace timeline for each cache outcome, so
+/// a Perfetto view shows where a run hit, missed, or healed a corrupt blob
+/// relative to the stage spans. Observational only, like the counters.
+void trace_store_event(const char* name) {
+  if (!trace_enabled()) return;
+  trace_instant(name);
 }
 
 /// Seed every stage key with the serialization format version and a stage
@@ -118,9 +127,11 @@ std::optional<std::vector<unsigned char>> StageCache::load_payload(
     if (payload.has_value()) {
       ++c.hits;
       count_store_event("hits");
+      trace_store_event("store.hit");
     } else {
       ++c.misses;
       count_store_event("misses");
+      trace_store_event("store.miss");
     }
     return payload;
   } catch (const StoreError& e) {
@@ -130,6 +141,7 @@ std::optional<std::vector<unsigned char>> StageCache::load_payload(
     ++c.misses;
     count_store_event("corrupt");
     count_store_event("misses");
+    trace_store_event("store.corrupt");
     log_info("store: ", kind, " blob ", hash_to_hex(key),
              " failed verification (", e.what(), "); recomputing");
     return std::nullopt;
@@ -171,6 +183,7 @@ std::optional<RlStagePayload> StageCache::load_rl(std::uint64_t key,
     ++c.misses;
     count_store_event("corrupt");
     count_store_event("misses");
+    trace_store_event("store.corrupt");
     log_info("store: rl payload ", hash_to_hex(key), " undecodable (",
              e.what(), "); recomputing");
     return std::nullopt;
@@ -206,6 +219,7 @@ std::optional<PacStagePayload> StageCache::load_pac(std::uint64_t key,
     ++c.misses;
     count_store_event("corrupt");
     count_store_event("misses");
+    trace_store_event("store.corrupt");
     log_info("store: pac payload ", hash_to_hex(key), " undecodable (",
              e.what(), "); recomputing");
     return std::nullopt;
@@ -242,6 +256,7 @@ std::optional<BarrierStagePayload> StageCache::load_barrier(
     ++c.misses;
     count_store_event("corrupt");
     count_store_event("misses");
+    trace_store_event("store.corrupt");
     log_info("store: barrier payload ", hash_to_hex(key), " undecodable (",
              e.what(), "); recomputing");
     return std::nullopt;
@@ -275,6 +290,7 @@ std::optional<ValidationStagePayload> StageCache::load_validation(
     ++c.misses;
     count_store_event("corrupt");
     count_store_event("misses");
+    trace_store_event("store.corrupt");
     log_info("store: validation payload ", hash_to_hex(key), " undecodable (",
              e.what(), "); recomputing");
     return std::nullopt;

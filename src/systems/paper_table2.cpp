@@ -1,0 +1,71 @@
+#include "systems/paper_table2.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace scs {
+
+namespace {
+
+constexpr double kNr = std::numeric_limits<double>::quiet_NaN();
+
+PaperTable2Row row(BenchmarkId id, const char* name, int n_x, int d_f,
+                   const char* dnn, bool baseline_verified) {
+  PaperTable2Row r;
+  r.id = id;
+  r.name = name;
+  r.n_x = n_x;
+  r.d_f = d_f;
+  r.dnn_structure = dnn;
+  r.verified = true;  // recorded claim: every row of Table 2 verifies
+  r.baseline_verified = baseline_verified;
+  r.eps = kNr;
+  r.error = kNr;
+  r.samples = kNr;
+  r.t_p_seconds = kNr;
+  r.t_total_seconds = kNr;
+  return r;
+}
+
+}  // namespace
+
+const std::vector<PaperTable2Row>& paper_table2() {
+  // n_x / d_f / DNN structures match the benchmark definitions in
+  // systems/benchmarks.cpp (which reconstruct the cited families with the
+  // published dimensions); the baseline column records that the LS-fit
+  // baseline verifies only C1..C3.
+  static const std::vector<PaperTable2Row> rows = {
+      row(BenchmarkId::kC1, "C1", 2, 5, "2-20(4)-1", true),
+      row(BenchmarkId::kC2, "C2", 2, 5, "2-30(5)-1", true),
+      row(BenchmarkId::kC3, "C3", 3, 2, "3-30(5)-1", true),
+      row(BenchmarkId::kC4, "C4", 4, 3, "4-30(5)-1", false),
+      row(BenchmarkId::kC5, "C5", 5, 2, "5-30(5)-1", false),
+      row(BenchmarkId::kC6, "C6", 6, 3, "6-30(5)-1", false),
+      row(BenchmarkId::kC7, "C7", 7, 2, "7-30(5)-1", false),
+      row(BenchmarkId::kC8, "C8", 9, 2, "9-30(5)-1", false),
+      row(BenchmarkId::kC9, "C9", 9, 2, "9-30(5)-1", false),
+      row(BenchmarkId::kC10, "C10", 12, 1, "12-30(5)-1", false),
+  };
+  return rows;
+}
+
+const PaperTable2Row* paper_table2_row(const std::string& name) {
+  for (const PaperTable2Row& r : paper_table2())
+    if (r.name == name) return &r;
+  return nullptr;
+}
+
+std::string paper_value_repr(double v) {
+  if (!std::isfinite(v)) return "n/r";
+  char buf[32];
+  // %g keeps small epsilons readable (0.0001) without trailing zeros.
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+std::string paper_value_repr(int v) {
+  return v < 0 ? "n/r" : std::to_string(v);
+}
+
+}  // namespace scs

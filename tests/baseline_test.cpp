@@ -1,0 +1,212 @@
+// Baseline regression gate tests (src/obs/baseline): gate-file parsing
+// (bad gates fail loudly), every check kind's pass/improve/regress
+// semantics, the missing-current-metric failure, metric flattening
+// (BENCH_*.json and google-benchmark shapes), and report rendering.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/baseline.hpp"
+#include "obs/json_reader.hpp"
+#include "obs/json_writer.hpp"
+
+namespace scs {
+namespace {
+
+BaselineFile parse_gate(const std::string& metrics_body) {
+  return baseline_parse("{\"schema\":1,\"name\":\"t\",\"metrics\":{" +
+                        metrics_body + "}}");
+}
+
+MetricSamples one_number(const std::string& key, double v) {
+  MetricSamples s;
+  s.add(key, JsonValue::make_number(v));
+  return s;
+}
+
+TEST(BaselineParse, AcceptsDocumentedFormat) {
+  const BaselineFile f = parse_gate(
+      "\"C1.verdict\":{\"kind\":\"exact\",\"value\":\"VERIFIED\"},"
+      "\"C1.pac_eps\":{\"kind\":\"max\",\"value\":0.1},"
+      "\"C1.total_seconds\":{\"kind\":\"timing\",\"value\":9.0,"
+      "\"rel_tol\":3.0}");
+  EXPECT_EQ(f.schema, 1);
+  EXPECT_EQ(f.name, "t");
+  ASSERT_EQ(f.checks.size(), 3u);
+  EXPECT_EQ(f.checks[0].kind, "exact");
+  EXPECT_EQ(f.checks[0].expect.string, "VERIFIED");
+  EXPECT_EQ(f.checks[2].kind, "timing");
+  EXPECT_DOUBLE_EQ(f.checks[2].rel_tol, 3.0);
+}
+
+TEST(BaselineParse, BadGatesFailLoudly) {
+  // A gate definition that cannot be trusted must throw, not soft-pass.
+  EXPECT_THROW(baseline_parse("[]"), JsonParseError);
+  EXPECT_THROW(baseline_parse("{\"metrics\":{}}"), JsonParseError);  // schema
+  EXPECT_THROW(baseline_parse("{\"schema\":99,\"metrics\":{}}"),
+               JsonParseError);
+  EXPECT_THROW(baseline_parse("{\"schema\":1}"), JsonParseError);  // metrics
+  EXPECT_THROW(parse_gate("\"k\":{\"value\":1}"), JsonParseError);  // no kind
+  EXPECT_THROW(parse_gate("\"k\":{\"kind\":\"fuzzy\",\"value\":1}"),
+               JsonParseError);
+  EXPECT_THROW(parse_gate("\"k\":{\"kind\":\"max\",\"value\":\"str\"}"),
+               JsonParseError);  // numeric kinds need numeric values
+  EXPECT_THROW(parse_gate("\"k\":{\"kind\":\"timing\",\"value\":1,"
+                          "\"rel_tol\":-0.5}"),
+               JsonParseError);
+  EXPECT_THROW(baseline_load_file("/nonexistent/gate.json"), JsonParseError);
+}
+
+TEST(BaselineCompare, ExactRequiresEverySampleEqual) {
+  const BaselineFile gate =
+      parse_gate("\"C1.verdict\":{\"kind\":\"exact\",\"value\":\"VERIFIED\"}");
+  MetricSamples ok;
+  ok.add("C1.verdict", JsonValue::make_string("VERIFIED"));
+  ok.add("C1.verdict", JsonValue::make_string("VERIFIED"));
+  EXPECT_TRUE(baseline_compare(gate, ok).passed());
+
+  MetricSamples mixed;
+  mixed.add("C1.verdict", JsonValue::make_string("VERIFIED"));
+  mixed.add("C1.verdict", JsonValue::make_string("UNVERIFIED"));
+  const BaselineReport r = baseline_compare(gate, mixed);
+  EXPECT_FALSE(r.passed());
+  EXPECT_EQ(r.regressed, 1);
+  EXPECT_EQ(r.rows[0].status, CheckStatus::kRegressed);
+}
+
+TEST(BaselineCompare, ExactDistinguishesTypes) {
+  const BaselineFile gate =
+      parse_gate("\"det\":{\"kind\":\"exact\",\"value\":true}");
+  MetricSamples s;
+  s.add("det", JsonValue::make_number(1.0));  // 1.0 is not `true`
+  EXPECT_EQ(baseline_compare(gate, s).regressed, 1);
+}
+
+TEST(BaselineCompare, MaxAndMinGateTheWorstSample) {
+  const BaselineFile gate = parse_gate(
+      "\"eps\":{\"kind\":\"max\",\"value\":0.1},"
+      "\"succ\":{\"kind\":\"min\",\"value\":3}");
+  MetricSamples s;
+  s.add("eps", JsonValue::make_number(0.01));
+  s.add("eps", JsonValue::make_number(0.09));
+  s.add("succ", JsonValue::make_number(5));
+  EXPECT_TRUE(baseline_compare(gate, s).passed());
+
+  s.add("eps", JsonValue::make_number(0.2));  // one excursion fails the gate
+  s.add("succ", JsonValue::make_number(2));
+  const BaselineReport r = baseline_compare(gate, s);
+  EXPECT_EQ(r.regressed, 2);
+}
+
+TEST(BaselineCompare, TimingUsesMedianWithRelativeBand) {
+  const BaselineFile gate = parse_gate(
+      "\"C1.total_seconds\":{\"kind\":\"timing\",\"value\":10.0,"
+      "\"rel_tol\":0.5}");
+  // Median of {9, 11, 30} = 11 <= 10 * 1.5: one slow outlier doesn't gate.
+  MetricSamples s;
+  for (double v : {9.0, 11.0, 30.0})
+    s.add("C1.total_seconds", JsonValue::make_number(v));
+  const BaselineReport pass = baseline_compare(gate, s);
+  EXPECT_TRUE(pass.passed());
+  EXPECT_EQ(pass.rows[0].status, CheckStatus::kPass);
+  EXPECT_NEAR(pass.rows[0].delta_pct, 10.0, 1e-9);
+
+  const BaselineReport fast = baseline_compare(gate, one_number(
+      "C1.total_seconds", 4.0));
+  EXPECT_TRUE(fast.passed());  // faster than baseline is not a failure
+  EXPECT_EQ(fast.rows[0].status, CheckStatus::kImproved);
+
+  const BaselineReport slow = baseline_compare(gate, one_number(
+      "C1.total_seconds", 16.0));
+  EXPECT_FALSE(slow.passed());
+  EXPECT_EQ(slow.rows[0].status, CheckStatus::kRegressed);
+  EXPECT_NEAR(slow.rows[0].delta_pct, 60.0, 1e-9);
+}
+
+TEST(BaselineCompare, MissingCurrentMetricFailsTheGate) {
+  const BaselineFile gate =
+      parse_gate("\"gone.metric\":{\"kind\":\"max\",\"value\":1}");
+  const BaselineReport r = baseline_compare(gate, MetricSamples());
+  EXPECT_FALSE(r.passed());
+  EXPECT_EQ(r.missing, 1);
+  EXPECT_EQ(r.rows[0].status, CheckStatus::kMissingCurrent);
+}
+
+TEST(BaselineCompare, NonNumericSampleUnderNumericCheckIsMissing) {
+  const BaselineFile gate =
+      parse_gate("\"t\":{\"kind\":\"timing\",\"value\":1}");
+  MetricSamples s;
+  s.add("t", JsonValue::make_string("oops"));
+  EXPECT_EQ(baseline_compare(gate, s).missing, 1);
+}
+
+TEST(BaselineCompare, ExtraCurrentMetricsAreIgnored) {
+  const BaselineFile gate =
+      parse_gate("\"a\":{\"kind\":\"max\",\"value\":1}");
+  MetricSamples s = one_number("a", 0.5);
+  s.add("brand.new.instrument", JsonValue::make_number(1e9));
+  EXPECT_TRUE(baseline_compare(gate, s).passed());
+}
+
+TEST(MetricSamplesTest, FlattensNestedObjectsAndArrays) {
+  MetricSamples s;
+  s.add_flattened("bench_parallel", json_parse(
+      "{\"threads\":4,\"workloads\":[{\"name\":\"matmul\",\"speedup\":2.5},"
+      "{\"name\":\"sdp\",\"speedup\":1.5}]}"));
+  ASSERT_NE(s.find("bench_parallel.threads"), nullptr);
+  ASSERT_NE(s.find("bench_parallel.workloads.0.speedup"), nullptr);
+  EXPECT_DOUBLE_EQ(s.find("bench_parallel.workloads.1.speedup")
+                       ->front().number, 1.5);
+  EXPECT_EQ(s.find("bench_parallel.workloads.0.name")->front().string,
+            "matmul");
+}
+
+TEST(MetricSamplesTest, GoogleBenchmarkDocsKeyRowsByName) {
+  // Keyed by benchmark name, not array index, so a reordered suite still
+  // matches the checked-in baseline keys.
+  MetricSamples s;
+  s.add_flattened("bench_solvers", json_parse(
+      "{\"context\":{\"num_cpus\":8},\"benchmarks\":["
+      "{\"name\":\"BM_Matmul/64\",\"real_time\":125.5,\"iterations\":100},"
+      "{\"name\":\"BM_Lie/2\",\"real_time\":3.25}]}"));
+  ASSERT_NE(s.find("bench_solvers.BM_Matmul/64.real_time"), nullptr);
+  EXPECT_DOUBLE_EQ(
+      s.find("bench_solvers.BM_Matmul/64.real_time")->front().number, 125.5);
+  ASSERT_NE(s.find("bench_solvers.BM_Lie/2.real_time"), nullptr);
+  // The context block is not flattened in benchmark mode.
+  EXPECT_EQ(s.find("bench_solvers.context.num_cpus"), nullptr);
+}
+
+TEST(BaselineReport, MarkdownLeadsWithVerdictAndFailures) {
+  const BaselineFile gate = parse_gate(
+      "\"ok\":{\"kind\":\"max\",\"value\":1},"
+      "\"bad\":{\"kind\":\"max\",\"value\":1}");
+  MetricSamples s = one_number("ok", 0.5);
+  s.add("bad", JsonValue::make_number(2.0));
+  const std::vector<BaselineReport> reports = {baseline_compare(gate, s)};
+
+  const std::string md = baseline_report_markdown(reports);
+  EXPECT_NE(md.find("**GATE FAILED**"), std::string::npos);
+  // Failures are listed before passes.
+  EXPECT_LT(md.find("| REGRESSED | bad |"), md.find("| PASS | ok |"));
+
+  const std::string json = baseline_report_json(reports);
+  EXPECT_TRUE(json_parse_valid(json));
+  const JsonValue doc = json_parse(json);
+  EXPECT_FALSE(doc.find("passed")->bool_or(true));
+  EXPECT_EQ(doc.find("failing_checks")->int_or(0), 1);
+}
+
+TEST(BaselineReport, PassingGateRendersPassed) {
+  const BaselineFile gate = parse_gate("\"ok\":{\"kind\":\"min\",\"value\":1}");
+  const std::vector<BaselineReport> reports = {
+      baseline_compare(gate, one_number("ok", 2.0))};
+  EXPECT_NE(baseline_report_markdown(reports).find("**GATE PASSED**"),
+            std::string::npos);
+  EXPECT_TRUE(json_parse(baseline_report_json(reports))
+                  .find("passed")->bool_or(false));
+}
+
+}  // namespace
+}  // namespace scs

@@ -159,6 +159,33 @@ TEST_F(ObsTest, GaugeTracksMaxAndHistogramBuckets) {
   EXPECT_EQ(h.max(), 1000u);
 }
 
+TEST_F(ObsTest, HistogramQuantileUpperBounds) {
+  Histogram& h = MetricsRegistry::instance().histogram("test.quantiles");
+  for (int i = 0; i < 90; ++i) h.observe(3);    // bucket le=4
+  for (int i = 0; i < 10; ++i) h.observe(500);  // bucket le=512
+  EXPECT_EQ(h.quantile_upper(0.5), 4u);
+  EXPECT_EQ(h.quantile_upper(0.9), 4u);
+  // The tail bucket's bound (512) is clamped to the exact tracked max.
+  EXPECT_EQ(h.quantile_upper(0.99), 500u);
+  EXPECT_EQ(h.quantile_upper(1.0), 500u);
+  Histogram& empty = MetricsRegistry::instance().histogram("test.empty_q");
+  EXPECT_EQ(empty.quantile_upper(0.5), 0u);
+}
+
+TEST_F(ObsTest, RegistryJsonIncludesDerivedQuantiles) {
+  set_metrics_enabled(true);
+  Histogram& h = MetricsRegistry::instance().histogram("test.qjson");
+  for (int i = 0; i < 100; ++i) h.observe(7);
+  const std::string blob = MetricsRegistry::instance().json();
+  std::string error;
+  EXPECT_TRUE(json_parse_valid(blob, &error)) << error;
+  // All samples are 7: every quantile's bucket bound (8) clamps to max=7.
+  EXPECT_NE(blob.find("\"p50\":7"), std::string::npos) << blob;
+  EXPECT_NE(blob.find("\"p90\":7"), std::string::npos);
+  EXPECT_NE(blob.find("\"p99\":7", blob.find("test.qjson")),
+            std::string::npos);
+}
+
 TEST_F(ObsTest, RegistryJsonIsValidAndSorted) {
   set_metrics_enabled(true);
   MetricsRegistry::instance().counter("b.second").add(2);

@@ -46,6 +46,36 @@ TEST(JsonNumber, NonFiniteBecomesNull) {
   EXPECT_EQ(json_number(-std::numeric_limits<double>::infinity()), "null");
 }
 
+TEST(JsonNumber, NonFiniteBumpsDroppedCounter) {
+  // Every NaN/Inf silently mapped to null must be counted, so ledger
+  // records and baseline gates can flag runs that produced garbage.
+  json_nonfinite_dropped_reset_for_tests();
+  json_number(std::numeric_limits<double>::quiet_NaN());
+  json_number(std::numeric_limits<double>::infinity());
+  json_number(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(json_nonfinite_dropped(), 3u);
+}
+
+TEST(JsonNumber, FiniteValuesDoNotBumpDroppedCounter) {
+  json_nonfinite_dropped_reset_for_tests();
+  json_number(0.0);
+  json_number(-1.5e300);
+  json_number(std::numeric_limits<double>::max());
+  EXPECT_EQ(json_nonfinite_dropped(), 0u);
+}
+
+TEST(JsonWriter, NonFiniteValueEmitsNullAndCounts) {
+  json_nonfinite_dropped_reset_for_tests();
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.value(1.0);
+  w.end_array();
+  EXPECT_EQ(w.str(), "[null,1]");
+  EXPECT_TRUE(json_parse_valid(w.str()));
+  EXPECT_EQ(json_nonfinite_dropped(), 1u);
+}
+
 TEST(JsonWriter, NestedContainersAndCommas) {
   JsonWriter w;
   w.begin_object();
