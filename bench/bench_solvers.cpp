@@ -4,9 +4,13 @@
 // polynomial kernels they are built on.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <iostream>
+#include <limits>
+#include <vector>
 
 #include "math/mat.hpp"
+#include "math/simd.hpp"
 #include "obs/json_writer.hpp"
 #include "obs/ledger.hpp"
 #include "opt/minimax_fit.hpp"
@@ -14,7 +18,9 @@
 #include "poly/basis.hpp"
 #include "poly/lie.hpp"
 #include "sos/certificate.hpp"
+#include "sos/sos_program.hpp"
 #include "util/rng.hpp"
+#include "util/stopwatch.hpp"
 
 namespace scs {
 namespace {
@@ -120,14 +126,12 @@ BENCHMARK(BM_MinimaxFit_TemplateSweep)
     ->DenseRange(1, 4)
     ->Unit(benchmark::kMillisecond);
 
-void BM_SdpGramBlock(benchmark::State& state) {
-  // min tr(X) with random sparse constraints on one Gram-sized block.
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
-  Rng rng(3);
+/// min tr(X) with 2n random sparse constraints on one n x n Gram-sized
+/// block; feasible by construction around X0 = I.
+SdpProblem random_gram_sdp(std::size_t n, Rng& rng) {
   SdpProblem p;
   p.block_dims = {n};
   p.block_obj_weight = {1.0};
-  // Feasible by construction around X0 = I.
   for (std::size_t i = 0; i < 2 * n; ++i) {
     SdpConstraint c;
     const std::size_t r = rng.index(n);
@@ -137,6 +141,13 @@ void BM_SdpGramBlock(benchmark::State& state) {
     c.rhs = (r == cc) ? v : 0.0;
     p.constraints.push_back(c);
   }
+  return p;
+}
+
+void BM_SdpGramBlock(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  const SdpProblem p = random_gram_sdp(n, rng);
   for (auto _ : state) {
     benchmark::DoNotOptimize(solve_sdp(p));
   }
@@ -200,6 +211,185 @@ void BM_LieDerivative(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LieDerivative)->DenseRange(2, 9);
+
+// ---- SIMD kernel A/B (src/math/simd.hpp). Each benchmark runs the same
+// workload forced through the scalar fallback and through AVX2 via the
+// per-thread kernel override, so one binary reports both columns; the AVX2
+// captures skip themselves on machines (or SCS_SIMD=OFF builds) without the
+// vector kernels.
+
+void BM_KernelAxpy(benchmark::State& state, simd::Kernel kernel) {
+  if (kernel == simd::Kernel::kAvx2 && !simd::avx2_available()) {
+    state.SkipWithError("AVX2 kernels unavailable in this build");
+    return;
+  }
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(20);
+  std::vector<double> x(n), y(n);
+  for (auto& v : x) v = rng.normal();
+  for (auto& v : y) v = rng.normal();
+  simd::set_kernel_override(kernel);
+  for (auto _ : state) {
+    simd::axpy(y.data(), 1e-6, x.data(), n);
+    benchmark::DoNotOptimize(y.data());
+    benchmark::ClobberMemory();
+  }
+  simd::set_kernel_override(simd::Kernel::kAuto);
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(3 * n * sizeof(double)));  // read x,y; write y
+}
+BENCHMARK_CAPTURE(BM_KernelAxpy, scalar, simd::Kernel::kScalar)->Arg(4096);
+BENCHMARK_CAPTURE(BM_KernelAxpy, avx2, simd::Kernel::kAvx2)->Arg(4096);
+
+void BM_KernelDot(benchmark::State& state, simd::Kernel kernel) {
+  if (kernel == simd::Kernel::kAvx2 && !simd::avx2_available()) {
+    state.SkipWithError("AVX2 kernels unavailable in this build");
+    return;
+  }
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(21);
+  std::vector<double> x(n), y(n);
+  for (auto& v : x) v = rng.normal();
+  for (auto& v : y) v = rng.normal();
+  simd::set_kernel_override(kernel);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::dot(x.data(), y.data(), n));
+  }
+  simd::set_kernel_override(simd::Kernel::kAuto);
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(2 * n * sizeof(double)));
+}
+BENCHMARK_CAPTURE(BM_KernelDot, scalar, simd::Kernel::kScalar)->Arg(4096);
+BENCHMARK_CAPTURE(BM_KernelDot, avx2, simd::Kernel::kAvx2)->Arg(4096);
+
+void BM_KernelMatmul(benchmark::State& state, simd::Kernel kernel) {
+  if (kernel == simd::Kernel::kAvx2 && !simd::avx2_available()) {
+    state.SkipWithError("AVX2 kernels unavailable in this build");
+    return;
+  }
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(22);
+  const Mat a = random_mat(n, n, rng);
+  const Mat b = random_mat(n, n, rng);
+  simd::set_kernel_override(kernel);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b));
+  }
+  simd::set_kernel_override(simd::Kernel::kAuto);
+}
+BENCHMARK_CAPTURE(BM_KernelMatmul, scalar, simd::Kernel::kScalar)
+    ->Arg(128)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_KernelMatmul, avx2, simd::Kernel::kAvx2)
+    ->Arg(128)
+    ->Unit(benchmark::kMicrosecond);
+
+/// AVX2-over-scalar ratio for the dense matmul, measured inside one
+/// benchmark (interleaved A/B, min-of-iterations) and reported as the
+/// `speedup` counter so the perf gate (baselines/bench_solvers.json, kind
+/// "min") can assert the SIMD layer keeps paying for itself on the dense
+/// workloads it was built for.
+void BM_KernelSpeedup_Matmul(benchmark::State& state) {
+  if (!simd::avx2_available()) {
+    state.SkipWithError("AVX2 kernels unavailable in this build");
+    return;
+  }
+  const std::size_t n = 128;
+  Rng rng(23);
+  const Mat a = random_mat(n, n, rng);
+  const Mat b = random_mat(n, n, rng);
+  double scalar_best = std::numeric_limits<double>::infinity();
+  double avx2_best = std::numeric_limits<double>::infinity();
+  for (auto _ : state) {
+    simd::set_kernel_override(simd::Kernel::kScalar);
+    {
+      Stopwatch sw;
+      benchmark::DoNotOptimize(matmul(a, b));
+      scalar_best = std::min(scalar_best, sw.seconds());
+    }
+    simd::set_kernel_override(simd::Kernel::kAvx2);
+    {
+      Stopwatch sw;
+      benchmark::DoNotOptimize(matmul(a, b));
+      avx2_best = std::min(avx2_best, sw.seconds());
+    }
+  }
+  simd::set_kernel_override(simd::Kernel::kAuto);
+  state.counters["speedup"] = scalar_best / avx2_best;
+}
+BENCHMARK(BM_KernelSpeedup_Matmul)->Unit(benchmark::kMicrosecond);
+
+// ---- Gram-basis pruning (SosProgram::set_gram_pruning). SOS membership of
+// an even quartic posed over the *full* degree-2 monomial basis: the
+// constant and linear monomials can never appear in a decomposition, and
+// the Newton-polytope pruner removes them (15 -> 10 for n = 4) before the
+// SDP is assembled. The `gram_dim` counter records the compiled block size
+// so the perf gate can pin the reduction.
+void BM_SosGramPrune(benchmark::State& state, bool prune) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Polynomial sum_sq(n);
+  for (std::size_t i = 0; i < n; ++i)
+    sum_sq += Polynomial::variable(n, i).pow(2);
+  Polynomial p = sum_sq * sum_sq;
+  for (std::size_t i = 0; i < n; ++i) p += Polynomial::variable(n, i).pow(4);
+  SosProgram prog(n);
+  const auto s = prog.add_sos_poly(monomials_up_to(n, 2));
+  const Polynomial one = Polynomial::constant(n, 1.0);
+  prog.add_identity(-p, {{one, s, {}}});
+  prog.set_gram_pruning(prune);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prog.solve());
+  }
+  state.counters["gram_dim"] =
+      static_cast<double>(prog.compile().block_dims[0]);
+}
+BENCHMARK_CAPTURE(BM_SosGramPrune, full, false)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SosGramPrune, pruned, true)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// ---- SDP warm starts. Re-solving a 1%-perturbed instance of a converged
+// Gram-block problem, cold versus seeded from the original solution
+// (make_warm_start). The warm capture also records how many interior-point
+// iterations the seed saves against the cold solve of the *same* perturbed
+// problem (`iters_saved`), which the perf gate pins > 0.
+void BM_SdpWarmStart(benchmark::State& state, bool warm) {
+  const std::size_t n = 32;
+  Rng rng(24);
+  const SdpProblem base = random_gram_sdp(n, rng);
+  const SdpSolution base_sol = solve_sdp(base);
+  if (base_sol.status != SdpStatus::kConverged) {
+    state.SkipWithError("base Gram-block solve did not converge");
+    return;
+  }
+  const SdpWarmStart seed = make_warm_start(base_sol);
+  SdpProblem p = base;
+  Rng perturb(25);
+  for (SdpConstraint& c : p.constraints) {
+    const double f = 1.0 + 0.01 * perturb.normal();
+    for (SdpEntry& e : c.entries) e.value *= f;
+    c.rhs *= f;  // scales with the entry: still feasible near X = I
+  }
+  const int cold_iters = solve_sdp(p).iterations;
+  double iters = 0.0;
+  for (auto _ : state) {
+    const SdpSolution sol = solve_sdp(p, {}, warm ? &seed : nullptr);
+    benchmark::DoNotOptimize(&sol);
+    iters += sol.iterations;
+  }
+  const double mean_iters =
+      iters / static_cast<double>(std::max<std::int64_t>(
+                  1, static_cast<std::int64_t>(state.iterations())));
+  state.counters["iterations"] = mean_iters;
+  if (warm) state.counters["iters_saved"] = cold_iters - mean_iters;
+}
+BENCHMARK_CAPTURE(BM_SdpWarmStart, cold, false)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SdpWarmStart, warm, true)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace scs

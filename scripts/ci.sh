@@ -18,6 +18,10 @@
 #                            # + bench_solvers vs baselines/*.json via
 #                            # report_cli, plus a negative check that a
 #                            # violated baseline exits nonzero
+#   scripts/ci.sh simd       # SCS_SIMD=OFF build + full tests (the scalar
+#                            # fallback must stand alone), then the
+#                            # simd-labeled suite under ubsan so the
+#                            # intrinsics paths run sanitized
 #
 # Label shortcuts (run from any built tree): ctest -L property|fault|golden|store.
 set -euo pipefail
@@ -123,10 +127,13 @@ run_perf() {
 
   # bench_obs writes BENCH_obs.json into its cwd and self-checks traced
   # determinism; bench_solvers emits google-benchmark JSON for a small,
-  # stable subset (full sweeps stay in the manual bench workflow).
+  # stable subset (full sweeps stay in the manual bench workflow). The
+  # kernel/pruning/warm-start rows carry counters the baseline pins: SIMD
+  # matmul speedup >= 1.5, Gram block 15 -> 10 under pruning, and at least
+  # one interior-point iteration saved by a warm start.
   (cd "${tmp}" && "${OLDPWD}/build/bench/bench_obs")
   ./build/bench/bench_solvers \
-      --benchmark_filter='BM_Matmul/64/100$|BM_MinimaxFit_SamplesSweep/1000$' \
+      --benchmark_filter='BM_Matmul/64/100$|BM_MinimaxFit_SamplesSweep/1000$|BM_KernelSpeedup_Matmul$|BM_SosGramPrune/(full|pruned)/4$|BM_SdpWarmStart/(cold|warm)$' \
       --benchmark_format=json \
       --benchmark_out="${tmp}/BENCH_solvers.json" \
       --benchmark_out_format=json > /dev/null
@@ -151,7 +158,34 @@ run_perf() {
       --no-dashboard --baseline "${tmp}/tampered.json" > /dev/null; then
     echo "report_cli passed a deliberately violated baseline" >&2; exit 1
   fi
+
+  echo "==> Negative check: a violated kernel baseline must exit nonzero"
+  printf '%s\n' \
+    '{"schema":1,"name":"tampered_kernel","metrics":{' \
+    ' "bench_solvers.BM_KernelSpeedup_Matmul.speedup":' \
+    '  {"kind":"min","value":1000.0}}}' \
+    > "${tmp}/tampered_kernel.json"
+  if ./build/examples/report_cli --ledger "${tmp}/ledger.jsonl" \
+      --bench bench_solvers="${tmp}/BENCH_solvers.json" \
+      --no-dashboard --baseline "${tmp}/tampered_kernel.json" > /dev/null; then
+    echo "report_cli passed a deliberately violated kernel baseline" >&2
+    exit 1
+  fi
   rm -rf "${tmp}"
+}
+
+run_simd() {
+  echo "==> SCS_SIMD=OFF build + full test suite (scalar kernels only)"
+  cmake --preset scalar
+  cmake --build --preset scalar -j "${JOBS}"
+  ctest --preset scalar-all -j "${JOBS}" --output-on-failure
+
+  echo "==> SIMD kernel suite under UndefinedBehaviorSanitizer"
+  # The ubsan tree builds with SCS_SIMD=ON (the default), so the AVX2
+  # intrinsics paths themselves run sanitized here.
+  cmake --preset ubsan
+  cmake --build --preset ubsan -j "${JOBS}" --target simd_kernel_test
+  ctest --preset ubsan-simd -j "${JOBS}" --output-on-failure
 }
 
 case "${1:-all}" in
@@ -162,8 +196,9 @@ case "${1:-all}" in
   store)   run_store ;;
   obs)     run_obs ;;
   perf)    run_perf ;;
-  all)     run_release; run_asan; run_ubsan; run_store; run_obs; run_perf ;;
-  *) echo "unknown configuration: $1 (want release|asan|ubsan|fault|store|obs|perf|all)" >&2
+  simd)    run_simd ;;
+  all)     run_release; run_asan; run_ubsan; run_store; run_obs; run_perf; run_simd ;;
+  *) echo "unknown configuration: $1 (want release|asan|ubsan|fault|store|obs|perf|simd|all)" >&2
      exit 2 ;;
 esac
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "math/simd.hpp"
 #include "util/check.hpp"
 #include "util/fault_injector.hpp"
 
@@ -12,9 +13,8 @@ Cholesky::Cholesky(const Mat& a, double tol) : l_(a.rows(), a.cols()) {
   const std::size_t n = a.rows();
   // Column-oriented (left-looking) factorization on the lower triangle.
   for (std::size_t j = 0; j < n; ++j) {
-    double djj = a(j, j);
     const double* lrow_j = l_.row_ptr(j);
-    for (std::size_t k = 0; k < j; ++k) djj -= lrow_j[k] * lrow_j[k];
+    double djj = a(j, j) - simd::dot(lrow_j, lrow_j, j);
     if (fault_injection_enabled())
       djj = FaultInjector::instance().perturb_pivot(FaultSite::kCholeskyPivot,
                                                     djj);
@@ -26,9 +26,8 @@ Cholesky::Cholesky(const Mat& a, double tol) : l_(a.rows(), a.cols()) {
     l_(j, j) = ljj;
     const double inv_ljj = 1.0 / ljj;
     for (std::size_t i = j + 1; i < n; ++i) {
-      double acc = a(i, j);
       const double* lrow_i = l_.row_ptr(i);
-      for (std::size_t k = 0; k < j; ++k) acc -= lrow_i[k] * lrow_j[k];
+      const double acc = a(i, j) - simd::dot(lrow_i, lrow_j, j);
       l_(i, j) = acc * inv_ljj;
     }
   }
@@ -41,10 +40,8 @@ Vec Cholesky::solve_lower(const Vec& b) const {
   SCS_REQUIRE(b.size() == n, "Cholesky::solve_lower: size mismatch");
   Vec y(n);
   for (std::size_t i = 0; i < n; ++i) {
-    double acc = b[i];
     const double* row = l_.row_ptr(i);
-    for (std::size_t j = 0; j < i; ++j) acc -= row[j] * y[j];
-    y[i] = acc / row[i];
+    y[i] = (b[i] - simd::dot(row, y.begin(), i)) / row[i];
   }
   return y;
 }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "math/simd.hpp"
 #include "util/check.hpp"
 #include "util/fault_injector.hpp"
 
@@ -42,7 +43,8 @@ Lu::Lu(const Mat& a, double pivot_tol) : lu_(a), perm_(a.rows()) {
       if (m == 0.0) continue;
       const double* row_k = lu_.row_ptr(k);
       double* row_i = lu_.row_ptr(i);
-      for (std::size_t j = k + 1; j < n; ++j) row_i[j] -= m * row_k[j];
+      // row_i[j] -= m * row_k[j]; the negated-scale axpy is bit-identical.
+      simd::axpy(row_i + k + 1, -m, row_k + k + 1, n - k - 1);
     }
   }
 }
@@ -54,16 +56,14 @@ Vec Lu::solve(const Vec& b) const {
   Vec x(n);
   // Forward substitution with permutation (L has unit diagonal).
   for (std::size_t i = 0; i < n; ++i) {
-    double acc = b[perm_[i]];
     const double* row = lu_.row_ptr(i);
-    for (std::size_t j = 0; j < i; ++j) acc -= row[j] * x[j];
-    x[i] = acc;
+    x[i] = b[perm_[i]] - simd::dot(row, x.begin(), i);
   }
   // Back substitution with U.
   for (std::size_t ii = n; ii-- > 0;) {
-    double acc = x[ii];
     const double* row = lu_.row_ptr(ii);
-    for (std::size_t j = ii + 1; j < n; ++j) acc -= row[j] * x[j];
+    const double acc =
+        x[ii] - simd::dot(row + ii + 1, x.begin() + ii + 1, n - ii - 1);
     x[ii] = acc / row[ii];
   }
   return x;

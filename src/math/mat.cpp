@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "math/simd.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -37,26 +38,26 @@ double Mat::at(std::size_t i, std::size_t j) const {
 Mat& Mat::operator+=(const Mat& rhs) {
   SCS_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_,
               "Mat::operator+=: shape mismatch");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  simd::add(data_.data(), rhs.data_.data(), data_.size());
   return *this;
 }
 
 Mat& Mat::operator-=(const Mat& rhs) {
   SCS_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_,
               "Mat::operator-=: shape mismatch");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  simd::sub(data_.data(), rhs.data_.data(), data_.size());
   return *this;
 }
 
 Mat& Mat::operator*=(double s) {
-  for (auto& v : data_) v *= s;
+  simd::scale(data_.data(), s, data_.size());
   return *this;
 }
 
 Mat& Mat::axpy(double s, const Mat& rhs) {
   SCS_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_,
               "Mat::axpy: shape mismatch");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += s * rhs.data_[i];
+  simd::axpy(data_.data(), s, rhs.data_.data(), data_.size());
   return *this;
 }
 
@@ -190,8 +191,7 @@ Mat matmul(const Mat& a, const Mat& b) {
             for (std::size_t k = k0; k < k1; ++k) {
               const double aik = a_row[k];
               const double* b_row = b.row_ptr(k);
-              for (std::size_t j = 0; j < nn; ++j)
-                out_row[j] += aik * b_row[j];
+              simd::axpy(out_row, aik, b_row, nn);
             }
           }
         }
@@ -213,8 +213,7 @@ Mat matmul_at_b(const Mat& a, const Mat& b) {
             for (std::size_t k = k0; k < k1; ++k) {
               const double aki = a(k, i);
               const double* b_row = b.row_ptr(k);
-              for (std::size_t j = 0; j < nn; ++j)
-                out_row[j] += aki * b_row[j];
+              simd::axpy(out_row, aki, b_row, nn);
             }
           }
         }
@@ -232,12 +231,8 @@ Mat matmul_a_bt(const Mat& a, const Mat& b) {
         for (std::size_t i = r0; i < r1; ++i) {
           const double* a_row = a.row_ptr(i);
           double* out_row = out.row_ptr(i);
-          for (std::size_t j = 0; j < nn; ++j) {
-            const double* b_row = b.row_ptr(j);
-            double acc = 0.0;
-            for (std::size_t k = 0; k < kk; ++k) acc += a_row[k] * b_row[k];
-            out_row[j] = acc;
-          }
+          for (std::size_t j = 0; j < nn; ++j)
+            out_row[j] = simd::dot(a_row, b.row_ptr(j), kk);
         }
       });
   return out;
@@ -246,12 +241,8 @@ Mat matmul_a_bt(const Mat& a, const Mat& b) {
 Vec matvec(const Mat& a, const Vec& x) {
   SCS_REQUIRE(a.cols() == x.size(), "matvec: dimension mismatch");
   Vec out(a.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* row = a.row_ptr(i);
-    double acc = 0.0;
-    for (std::size_t j = 0; j < a.cols(); ++j) acc += row[j] * x[j];
-    out[i] = acc;
-  }
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    out[i] = simd::dot(a.row_ptr(i), x.begin(), a.cols());
   return out;
 }
 
@@ -259,10 +250,9 @@ Vec matvec_t(const Mat& a, const Vec& x) {
   SCS_REQUIRE(a.rows() == x.size(), "matvec_t: dimension mismatch");
   Vec out(a.cols());
   for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* row = a.row_ptr(i);
     const double xi = x[i];
     if (xi == 0.0) continue;
-    for (std::size_t j = 0; j < a.cols(); ++j) out[j] += row[j] * xi;
+    simd::axpy(out.begin(), xi, a.row_ptr(i), a.cols());
   }
   return out;
 }
@@ -277,13 +267,9 @@ Mat outer(const Vec& a, const Vec& b) {
 double frob_inner(const Mat& a, const Mat& b) {
   SCS_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
               "frob_inner: shape mismatch");
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* ra = a.row_ptr(i);
-    const double* rb = b.row_ptr(i);
-    for (std::size_t j = 0; j < a.cols(); ++j) acc += ra[j] * rb[j];
-  }
-  return acc;
+  // One flat four-lane dot over the contiguous storage: rows of a row-major
+  // matrix are adjacent, so this is the same term set in lane order.
+  return simd::dot(a.row_ptr(0), b.row_ptr(0), a.rows() * a.cols());
 }
 
 double max_abs_diff(const Mat& a, const Mat& b) {

@@ -1,0 +1,210 @@
+// Portable kernel implementations and the runtime dispatch switch.
+//
+// The scalar `dot` mirrors the AVX2 lane structure exactly (four
+// accumulators, fixed combine order) -- see simd.hpp for the contract.
+#include "math/simd.hpp"
+
+#include "util/check.hpp"
+
+namespace scs::simd {
+
+namespace detail {
+
+// Implemented in simd_avx2.cpp (only compiled when SCS_SIMD_AVX2 is
+// defined); declarations here keep the dispatch switch in one file.
+void axpy_avx2(double* y, double s, const double* x, std::size_t n);
+void add_avx2(double* y, const double* x, std::size_t n);
+void sub_avx2(double* y, const double* x, std::size_t n);
+void scale_avx2(double* y, double s, std::size_t n);
+double dot_avx2(const double* x, const double* y, std::size_t n);
+
+}  // namespace detail
+
+namespace {
+
+bool detect_avx2() {
+#ifdef SCS_SIMD_AVX2
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+// Per-thread override so concurrent benchmark workers can A/B different
+// paths without racing; kAuto falls back to the one-time CPU detection.
+thread_local Kernel g_override = Kernel::kAuto;
+
+inline bool use_avx2() {
+  static const bool cpu_ok = detect_avx2();
+  switch (g_override) {
+    case Kernel::kScalar:
+      return false;
+    case Kernel::kAvx2:
+      return true;
+    case Kernel::kAuto:
+    default:
+      return cpu_ok;
+  }
+}
+
+// The portable fallback doubles as the NEON path: on aarch64 NEON is
+// baseline, so the "scalar" kernels may use 128-bit intrinsics directly
+// (vmul + vadd, never vfma) while keeping the exact lane structure of the
+// AVX2 versions.
+#if defined(__ARM_NEON) && defined(__aarch64__)
+#include <arm_neon.h>
+
+void axpy_scalar(double* y, double s, const double* x, std::size_t n) {
+  const float64x2_t vs = vdupq_n_f64(s);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2)
+    vst1q_f64(y + i, vaddq_f64(vld1q_f64(y + i),
+                               vmulq_f64(vs, vld1q_f64(x + i))));
+  for (; i < n; ++i) y[i] += s * x[i];
+}
+
+void add_scalar(double* y, const double* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2)
+    vst1q_f64(y + i, vaddq_f64(vld1q_f64(y + i), vld1q_f64(x + i)));
+  for (; i < n; ++i) y[i] += x[i];
+}
+
+void sub_scalar(double* y, const double* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2)
+    vst1q_f64(y + i, vsubq_f64(vld1q_f64(y + i), vld1q_f64(x + i)));
+  for (; i < n; ++i) y[i] -= x[i];
+}
+
+void scale_scalar(double* y, double s, std::size_t n) {
+  const float64x2_t vs = vdupq_n_f64(s);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2)
+    vst1q_f64(y + i, vmulq_f64(vld1q_f64(y + i), vs));
+  for (; i < n; ++i) y[i] *= s;
+}
+
+double dot_scalar(const double* x, const double* y, std::size_t n) {
+  // Two 128-bit accumulators give the same four lanes as one AVX2 vector:
+  // acc01 holds lanes 0/1, acc23 holds lanes 2/3.
+  float64x2_t acc01 = vdupq_n_f64(0.0), acc23 = vdupq_n_f64(0.0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc01 = vaddq_f64(acc01, vmulq_f64(vld1q_f64(x + i), vld1q_f64(y + i)));
+    acc23 = vaddq_f64(acc23,
+                      vmulq_f64(vld1q_f64(x + i + 2), vld1q_f64(y + i + 2)));
+  }
+  double l0 = vgetq_lane_f64(acc01, 0), l1 = vgetq_lane_f64(acc01, 1);
+  double l2 = vgetq_lane_f64(acc23, 0), l3 = vgetq_lane_f64(acc23, 1);
+  if (i < n) l0 += x[i] * y[i];
+  if (i + 1 < n) l1 += x[i + 1] * y[i + 1];
+  if (i + 2 < n) l2 += x[i + 2] * y[i + 2];
+  return (l0 + l1) + (l2 + l3);
+}
+
+#else  // plain scalar
+
+void axpy_scalar(double* y, double s, const double* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += s * x[i];
+}
+
+void add_scalar(double* y, const double* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += x[i];
+}
+
+void sub_scalar(double* y, const double* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] -= x[i];
+}
+
+void scale_scalar(double* y, double s, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] *= s;
+}
+
+double dot_scalar(const double* x, const double* y, std::size_t n) {
+  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    l0 += x[i] * y[i];
+    l1 += x[i + 1] * y[i + 1];
+    l2 += x[i + 2] * y[i + 2];
+    l3 += x[i + 3] * y[i + 3];
+  }
+  // Tail terms land in the lane their index selects, exactly as a masked
+  // SIMD tail would place them.
+  if (i < n) l0 += x[i] * y[i];
+  if (i + 1 < n) l1 += x[i + 1] * y[i + 1];
+  if (i + 2 < n) l2 += x[i + 2] * y[i + 2];
+  return (l0 + l1) + (l2 + l3);
+}
+
+#endif  // __ARM_NEON
+
+}  // namespace
+
+void set_kernel_override(Kernel k) {
+#ifndef SCS_SIMD_AVX2
+  SCS_REQUIRE(k != Kernel::kAvx2,
+              "simd: AVX2 kernels were not compiled in (SCS_SIMD=OFF)");
+#else
+  SCS_REQUIRE(k != Kernel::kAvx2 || __builtin_cpu_supports("avx2"),
+              "simd: this CPU does not support AVX2");
+#endif
+  g_override = k;
+}
+
+const char* active_kernel_name() { return use_avx2() ? "avx2" : "scalar"; }
+
+bool avx2_available() {
+  static const bool cpu_ok = detect_avx2();
+  return cpu_ok;
+}
+
+void axpy(double* y, double s, const double* x, std::size_t n) {
+#ifdef SCS_SIMD_AVX2
+  if (use_avx2()) {
+    detail::axpy_avx2(y, s, x, n);
+    return;
+  }
+#endif
+  axpy_scalar(y, s, x, n);
+}
+
+void add(double* y, const double* x, std::size_t n) {
+#ifdef SCS_SIMD_AVX2
+  if (use_avx2()) {
+    detail::add_avx2(y, x, n);
+    return;
+  }
+#endif
+  add_scalar(y, x, n);
+}
+
+void sub(double* y, const double* x, std::size_t n) {
+#ifdef SCS_SIMD_AVX2
+  if (use_avx2()) {
+    detail::sub_avx2(y, x, n);
+    return;
+  }
+#endif
+  sub_scalar(y, x, n);
+}
+
+void scale(double* y, double s, std::size_t n) {
+#ifdef SCS_SIMD_AVX2
+  if (use_avx2()) {
+    detail::scale_avx2(y, s, n);
+    return;
+  }
+#endif
+  scale_scalar(y, s, n);
+}
+
+double dot(const double* x, const double* y, std::size_t n) {
+#ifdef SCS_SIMD_AVX2
+  if (use_avx2()) return detail::dot_avx2(x, y, n);
+#endif
+  return dot_scalar(x, y, n);
+}
+
+}  // namespace scs::simd

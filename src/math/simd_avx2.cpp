@@ -1,0 +1,80 @@
+// AVX2 kernels. This translation unit is the only one compiled with -mavx2,
+// and every function is reached solely through the runtime dispatch in
+// simd.cpp after a __builtin_cpu_supports("avx2") check, so the rest of the
+// binary stays runnable on plain SSE2 hardware.
+//
+// Bitwise contract (see simd.hpp): elementwise kernels use separate mul and
+// add -- no FMA -- so they reproduce the scalar fallback exactly; `dot`
+// keeps four independent lanes (lane j sums indices == j mod 4) and
+// combines them with scalar adds in the fixed order (l0 + l1) + (l2 + l3),
+// matching the scalar fallback's lane structure bit for bit.
+#ifdef SCS_SIMD_AVX2
+
+#include <immintrin.h>
+
+#include <cstddef>
+
+namespace scs::simd::detail {
+
+void axpy_avx2(double* y, double s, const double* x, std::size_t n) {
+  const __m256d vs = _mm256_set1_pd(s);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vx = _mm256_loadu_pd(x + i);
+    const __m256d vy = _mm256_loadu_pd(y + i);
+    _mm256_storeu_pd(y + i, _mm256_add_pd(vy, _mm256_mul_pd(vs, vx)));
+  }
+  for (; i < n; ++i) y[i] += s * x[i];
+}
+
+void add_avx2(double* y, const double* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vx = _mm256_loadu_pd(x + i);
+    const __m256d vy = _mm256_loadu_pd(y + i);
+    _mm256_storeu_pd(y + i, _mm256_add_pd(vy, vx));
+  }
+  for (; i < n; ++i) y[i] += x[i];
+}
+
+void sub_avx2(double* y, const double* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vx = _mm256_loadu_pd(x + i);
+    const __m256d vy = _mm256_loadu_pd(y + i);
+    _mm256_storeu_pd(y + i, _mm256_sub_pd(vy, vx));
+  }
+  for (; i < n; ++i) y[i] -= x[i];
+}
+
+void scale_avx2(double* y, double s, std::size_t n) {
+  const __m256d vs = _mm256_set1_pd(s);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vy = _mm256_loadu_pd(y + i);
+    _mm256_storeu_pd(y + i, _mm256_mul_pd(vy, vs));
+  }
+  for (; i < n; ++i) y[i] *= s;
+}
+
+double dot_avx2(const double* x, const double* y, std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vx = _mm256_loadu_pd(x + i);
+    const __m256d vy = _mm256_loadu_pd(y + i);
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(vx, vy));
+  }
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, acc);
+  // Tail terms join the lane their index selects, then the lanes combine
+  // with scalar adds in the same order as the scalar fallback.
+  if (i < n) lane[0] += x[i] * y[i];
+  if (i + 1 < n) lane[1] += x[i + 1] * y[i + 1];
+  if (i + 2 < n) lane[2] += x[i + 2] * y[i + 2];
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+}  // namespace scs::simd::detail
+
+#endif  // SCS_SIMD_AVX2

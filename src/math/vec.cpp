@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "math/simd.hpp"
 #include "util/check.hpp"
 #include "util/hash.hpp"
 
@@ -26,18 +27,18 @@ double Vec::at(std::size_t i) const {
 
 Vec& Vec::operator+=(const Vec& rhs) {
   SCS_REQUIRE(size() == rhs.size(), "Vec::operator+=: size mismatch");
-  for (std::size_t i = 0; i < size(); ++i) data_[i] += rhs.data_[i];
+  simd::add(data_.data(), rhs.data_.data(), size());
   return *this;
 }
 
 Vec& Vec::operator-=(const Vec& rhs) {
   SCS_REQUIRE(size() == rhs.size(), "Vec::operator-=: size mismatch");
-  for (std::size_t i = 0; i < size(); ++i) data_[i] -= rhs.data_[i];
+  simd::sub(data_.data(), rhs.data_.data(), size());
   return *this;
 }
 
 Vec& Vec::operator*=(double s) {
-  for (auto& v : data_) v *= s;
+  simd::scale(data_.data(), s, size());
   return *this;
 }
 
@@ -49,14 +50,12 @@ Vec& Vec::operator/=(double s) {
 
 Vec& Vec::axpy(double s, const Vec& rhs) {
   SCS_REQUIRE(size() == rhs.size(), "Vec::axpy: size mismatch");
-  for (std::size_t i = 0; i < size(); ++i) data_[i] += s * rhs.data_[i];
+  simd::axpy(data_.data(), s, rhs.data_.data(), size());
   return *this;
 }
 
 double Vec::norm() const {
-  double acc = 0.0;
-  for (double v : data_) acc += v * v;
-  return std::sqrt(acc);
+  return std::sqrt(simd::dot(data_.data(), data_.data(), data_.size()));
 }
 
 double Vec::max_abs() const {
@@ -95,9 +94,7 @@ Vec operator-(Vec v) { return v *= -1.0; }
 
 double dot(const Vec& a, const Vec& b) {
   SCS_REQUIRE(a.size() == b.size(), "dot: size mismatch");
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
-  return acc;
+  return simd::dot(a.begin(), b.begin(), a.size());
 }
 
 Vec hadamard(const Vec& a, const Vec& b) {

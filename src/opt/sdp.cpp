@@ -6,6 +6,7 @@
 
 #include "math/cholesky.hpp"
 #include "math/robust_solve.hpp"
+#include "math/simd.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
@@ -33,6 +34,22 @@ const char* to_string(SdpStatus status) {
       return "time-limit";
   }
   return "?";
+}
+
+namespace {
+/// Default for schur_parallel_threshold(): calibrated so bench_parallel's
+/// sdp_schur workload (nl = 48, nc = 96, ~2^17.8) stays serial -- the pool
+/// measured 0.74x there -- while large Gram systems still fan out.
+constexpr std::size_t kParallelSchurFlops = std::size_t{1} << 19;
+thread_local std::size_t g_schur_threshold = kParallelSchurFlops;
+}  // namespace
+
+std::size_t schur_parallel_threshold() { return g_schur_threshold; }
+void set_schur_parallel_threshold(std::size_t flops) {
+  g_schur_threshold = flops;
+}
+void reset_schur_parallel_threshold() {
+  g_schur_threshold = kParallelSchurFlops;
 }
 
 namespace {
@@ -113,10 +130,34 @@ double auto_scale(const SdpProblem& problem) {
   return 10.0 * std::max(1.0, std::sqrt(data));
 }
 
+/// Blend a warm iterate toward `scale * I` just far enough that the result
+/// is safely positive definite: try increasing identity weights and keep
+/// the first Cholesky-positive candidate. Returns false when even a heavy
+/// blend fails (caller falls back to the cold identity start).
+bool blend_to_pd(const Mat& seed, double scale, Mat& out) {
+  static constexpr double kEta[] = {0.05, 0.2, 0.5, 0.9};
+  for (double eta : kEta) {
+    Mat trial = seed;
+    trial *= (1.0 - eta);
+    for (std::size_t i = 0; i < trial.rows(); ++i)
+      trial(i, i) += eta * scale;
+    trial.symmetrize();
+    // A strictly interior iterate, not a boundary one: demand a margin via
+    // the Cholesky tolerance so the first IPM step has room to move.
+    if (Cholesky(trial, 1e-10 * scale).ok()) {
+      out = std::move(trial);
+      return true;
+    }
+  }
+  return false;
+}
+
 /// One interior-point run at a fixed starting scale. `budget_sw` counts
 /// wall-clock across the whole solve_sdp call (retries included).
+/// `warm_start` may be null; an unusable seed silently degrades to cold.
 SdpSolution solve_sdp_once(const SdpProblem& problem, const SdpOptions& options,
-                           const Stopwatch& budget_sw) {
+                           const Stopwatch& budget_sw,
+                           const SdpWarmStart* warm_start) {
   const std::size_t num_blocks = problem.block_dims.size();
   const std::size_t m = problem.constraints.size();
   const std::size_t s = problem.num_free;
@@ -202,6 +243,48 @@ SdpSolution solve_sdp_once(const SdpProblem& problem, const SdpOptions& options,
   }
   Vec f(s, 0.0);
   Vec y(m, 0.0);
+
+  // ---- Warm start: seed (X, y, f) from a previous solve of a structurally
+  // identical problem and recompute S = C - At(y) so the dual residual
+  // starts near zero. Both cone iterates are blended toward scale * I until
+  // strictly positive definite; any mismatch or failed blend degrades to
+  // the cold identity start above.
+  if (warm_start != nullptr) {
+    bool compatible = warm_start->x.size() == num_blocks &&
+                      warm_start->y.size() == m &&
+                      warm_start->free_vars.size() == s;
+    for (std::size_t l = 0; compatible && l < num_blocks; ++l)
+      compatible = warm_start->x[l].rows() == problem.block_dims[l] &&
+                   warm_start->x[l].cols() == problem.block_dims[l];
+    std::vector<Mat> wx(num_blocks), ws(num_blocks);
+    if (compatible) {
+      for (std::size_t l = 0; compatible && l < num_blocks; ++l) {
+        // S seed from the dual side of the candidate y.
+        Mat s_seed = Mat::identity(problem.block_dims[l]) * cw[l];
+        Vec neg_y = warm_start->y;
+        neg_y *= -1.0;
+        accumulate_at(index[l], neg_y, s_seed);
+        compatible = blend_to_pd(warm_start->x[l], scale, wx[l]) &&
+                     blend_to_pd(s_seed, scale, ws[l]);
+      }
+    }
+    if (compatible) {
+      x = std::move(wx);
+      sm = std::move(ws);
+      y = warm_start->y;
+      f = warm_start->free_vars;
+      sol.warm_started = true;
+      if (metrics_enabled()) {
+        static Counter& warm =
+            MetricsRegistry::instance().counter("sdp.warm.starts");
+        warm.add(1);
+      }
+    } else if (metrics_enabled()) {
+      static Counter& rejected =
+          MetricsRegistry::instance().counter("sdp.warm.rejected");
+      rejected.add(1);
+    }
+  }
 
   const auto op_a = [&](const std::vector<Mat>& xs, const Vec& fs) {
     Vec out(m, 0.0);
@@ -332,13 +415,18 @@ SdpSolution solve_sdp_once(const SdpProblem& problem, const SdpOptions& options,
     // Columns j fan out over the pool: each constraint kj touching the
     // block owns its W_j = X A_j S^{-1} scratch and its own Schur column,
     // so the writes are disjoint; the block loop stays serial, preserving
-    // the per-entry accumulation order regardless of thread count.
+    // the per-entry accumulation order regardless of thread count. Small
+    // blocks skip the pool entirely (see kParallelSchurFlops below): the
+    // fork/join handshake costs more than the assembly, which is what made
+    // the bench_parallel sdp_schur workload a slowdown at low thread
+    // counts. The gate depends only on the problem shape, so results stay
+    // bitwise-identical either way.
     Mat schur(m, m);
     for (std::size_t l = 0; l < num_blocks; ++l) {
       const BlockIndex& bi = index[l];
       const std::size_t nl = problem.block_dims[l];
       const std::size_t nc = bi.constraint_ids.size();
-      parallel_for(nc, 2, [&](std::size_t kj_begin, std::size_t kj_end) {
+      const auto schur_cols = [&](std::size_t kj_begin, std::size_t kj_end) {
         for (std::size_t kj = kj_begin; kj < kj_end; ++kj) {
           // W = X A_j S^{-1} as a sum of outer products over A_j's entries.
           Mat w(nl, nl);
@@ -350,18 +438,12 @@ SdpSolution solve_sdp_once(const SdpProblem& problem, const SdpOptions& options,
             // v * (X[:,r] Sinv[c,:] + [r != c] X[:,c] Sinv[r,:]).
             for (std::size_t a = 0; a < nl; ++a) {
               const double xa_r = x[l](a, r) * v;
-              double* wrow = w.row_ptr(a);
-              const double* srow = sinv[l].row_ptr(c);
-              for (std::size_t bb = 0; bb < nl; ++bb)
-                wrow[bb] += xa_r * srow[bb];
+              simd::axpy(w.row_ptr(a), xa_r, sinv[l].row_ptr(c), nl);
             }
             if (r != c) {
               for (std::size_t a = 0; a < nl; ++a) {
                 const double xa_c = x[l](a, c) * v;
-                double* wrow = w.row_ptr(a);
-                const double* srow = sinv[l].row_ptr(r);
-                for (std::size_t bb = 0; bb < nl; ++bb)
-                  wrow[bb] += xa_c * srow[bb];
+                simd::axpy(w.row_ptr(a), xa_c, sinv[l].row_ptr(r), nl);
               }
             }
           }
@@ -383,7 +465,19 @@ SdpSolution solve_sdp_once(const SdpProblem& problem, const SdpOptions& options,
             schur(i, j) += acc;
           }
         }
-      });
+      };
+      // Gate: per-column work is ~nl^2 flops per entry; below the threshold
+      // the serial loop beats any dispatch. Calibrated from bench_parallel's
+      // sdp_schur workload (nl = 48, nc = 96, ~2^17.8 "flops"), which
+      // measured 0.74x through the pool -- so that size and everything
+      // smaller stays serial; only substantially larger Schur systems fan
+      // out. Columns go to the pool eight at a time: dispatch overhead is
+      // per chunk, and a column's output (its own Schur column) is disjoint
+      // from every other, so chunking never changes results.
+      if (nc * nl * nl < schur_parallel_threshold())
+        schur_cols(0, nc);
+      else
+        parallel_for(nc, 8, schur_cols);
     }
     schur.symmetrize();
     // Tiny ridge to absorb roundoff on nearly dependent rows.
@@ -563,14 +657,23 @@ SdpSolution solve_sdp_once(const SdpProblem& problem, const SdpOptions& options,
 
 }  // namespace
 
-SdpSolution solve_sdp(const SdpProblem& problem, const SdpOptions& options) {
+SdpWarmStart make_warm_start(const SdpSolution& solution) {
+  SdpWarmStart warm;
+  warm.x = solution.x;
+  warm.y = solution.y;
+  warm.free_vars = solution.free_vars;
+  return warm;
+}
+
+SdpSolution solve_sdp(const SdpProblem& problem, const SdpOptions& options,
+                      const SdpWarmStart* warm_start) {
   TraceSpan span("sdp.solve");
   if (metrics_enabled()) {
     static Counter& solves = MetricsRegistry::instance().counter("sdp.solves");
     solves.add(1);
   }
   Stopwatch budget_sw;
-  SdpSolution best = solve_sdp_once(problem, options, budget_sw);
+  SdpSolution best = solve_sdp_once(problem, options, budget_sw, warm_start);
   if (best.status == SdpStatus::kConverged ||
       best.status == SdpStatus::kInfeasible ||
       best.status == SdpStatus::kTimeLimit)
@@ -604,7 +707,10 @@ SdpSolution solve_sdp(const SdpProblem& problem, const SdpOptions& options) {
           MetricsRegistry::instance().counter("sdp.restarts");
       restarts.add(1);
     }
-    SdpSolution next = solve_sdp_once(problem, retry_options, budget_sw);
+    // Retries restart cold: a warm seed that led to a stall or numerical
+    // failure is not worth re-trying from.
+    SdpSolution next = solve_sdp_once(problem, retry_options, budget_sw,
+                                      nullptr);
     next.restarts = retry;
     if (next.status == SdpStatus::kConverged ||
         next.status == SdpStatus::kInfeasible)

@@ -74,7 +74,26 @@ struct SdpSolution {
   int iterations = 0;
   /// Rescale-and-retry restarts consumed before this solution was produced.
   int restarts = 0;
+  /// True when the first interior-point run was seeded from an SdpWarmStart
+  /// (retries always restart cold).
+  bool warm_started = false;
 };
+
+/// Warm-start seed: the final iterates of a previous solve of a structurally
+/// identical problem (same block dims, free-variable count, constraint
+/// count). The solver blends the seed toward the cold identity start just
+/// far enough to restore strict positive definiteness, so a seed from a
+/// nearby (perturbed) problem lands deep inside the cone instead of on its
+/// boundary. Shape mismatches fall back to a cold start.
+struct SdpWarmStart {
+  std::vector<Mat> x;  // primal PSD blocks
+  Vec y;               // dual multipliers
+  Vec free_vars;       // may be empty when the problem has no free vars
+};
+
+/// Package a converged solution as a seed for re-solving a perturbed
+/// instance of the same program structure.
+SdpWarmStart make_warm_start(const SdpSolution& solution);
 
 struct SdpOptions {
   int max_iterations = 100;
@@ -100,7 +119,26 @@ struct SdpOptions {
   double wall_clock_budget = 0.0;
 };
 
-SdpSolution solve_sdp(const SdpProblem& problem, const SdpOptions& options = {});
+/// Solve. `warm_start` (optional, borrowed for the duration of the call)
+/// seeds the first interior-point run; retries restart cold. A seed is a
+/// hint, never a correctness input: an incompatible or badly conditioned
+/// seed degrades to the cold start path.
+SdpSolution solve_sdp(const SdpProblem& problem, const SdpOptions& options = {},
+                      const SdpWarmStart* warm_start = nullptr);
+
+/// Work threshold (touching-constraint count x block dim^2) at or above
+/// which the Schur-complement assembly fans its columns out over the thread
+/// pool; smaller blocks assemble serially, where the fork/join handshake
+/// would cost more than the work. The gate depends only on the problem
+/// shape, and column outputs are disjoint, so results are bitwise-identical
+/// either way.
+std::size_t schur_parallel_threshold();
+
+/// Bench/test hook (thread-local): override the Schur parallel threshold --
+/// 0 forces the pooled path for every size, SIZE_MAX forces serial. Pass
+/// `reset_schur_parallel_threshold()` to restore the built-in default.
+void set_schur_parallel_threshold(std::size_t flops);
+void reset_schur_parallel_threshold();
 
 void hash_append(Fnv1a& h, const SdpOptions& o);
 

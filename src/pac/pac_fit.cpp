@@ -177,6 +177,14 @@ PacResult pac_approximate(const ScalarFn& fn, const SemialgebraicSet& domain,
       parallel_for(k_used, kScenarioChunk,
                    [&](std::size_t begin, std::size_t end) {
                      Rng& chunk_rng = streams[begin / kScenarioChunk];
+                     // Draw the whole chunk first (sampling and target
+                     // evaluation keep their per-index order), then batch-
+                     // evaluate the basis rows: evaluate_basis_rows scans
+                     // the basis structure once per chunk and fills the
+                     // design rows in place, bitwise-identically to the
+                     // per-point evaluate_basis it replaces.
+                     std::vector<Vec> chunk_pts;
+                     chunk_pts.reserve(end - begin);
                      for (std::size_t i = begin; i < end; ++i) {
                        Vec x = domain.sample(chunk_rng);
                        targets[i] = fn(x);
@@ -185,8 +193,9 @@ PacResult pac_approximate(const ScalarFn& fn, const SemialgebraicSet& domain,
                              FaultSite::kNanBoundary, targets[i]);
                        // Move the design point into unit-box coordinates.
                        for (std::size_t j = 0; j < n; ++j) x[j] *= s_inv[j];
-                       design.set_row(i, evaluate_basis(basis, x));
+                       chunk_pts.push_back(std::move(x));
                      }
+                     evaluate_basis_rows(basis, chunk_pts, design, begin);
                    });
       // Screen non-finite rows at the boundary: a handful of bad samples
       // (diverging controller rollouts, injected NaNs) must not poison the

@@ -84,4 +84,58 @@ Vec evaluate_basis(const std::vector<Monomial>& basis, const Vec& x) {
   return out;
 }
 
+void evaluate_basis_rows(const std::vector<Monomial>& basis,
+                         const std::vector<Vec>& points, Mat& out,
+                         std::size_t first_row) {
+  if (basis.empty() || points.empty()) return;
+  const std::size_t n = basis.front().num_vars();
+  SCS_REQUIRE(out.cols() == basis.size(),
+              "evaluate_basis_rows: output width mismatch");
+  SCS_REQUIRE(first_row + points.size() <= out.rows(),
+              "evaluate_basis_rows: rows out of range");
+  int max_deg = 0;
+  for (const auto& m : basis) max_deg = std::max(max_deg, m.degree());
+
+  // Per-monomial (variable, exponent) pairs with exponent != 0, scanned once
+  // for the whole batch. Pairs stay in increasing-variable order so each
+  // row's multiply sequence matches evaluate_basis exactly.
+  struct Factor {
+    std::uint32_t offset;  // index into the flat power table
+    std::uint32_t count;   // factors of this monomial
+  };
+  std::vector<Factor> factors(basis.size());
+  std::vector<std::uint32_t> factor_idx;
+  const std::size_t stride = static_cast<std::size_t>(max_deg) + 1;
+  for (std::size_t j = 0; j < basis.size(); ++j) {
+    factors[j].offset = static_cast<std::uint32_t>(factor_idx.size());
+    const auto& e = basis[j].exponents();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (e[i] != 0)
+        factor_idx.push_back(static_cast<std::uint32_t>(i * stride + e[i]));
+    }
+    factors[j].count =
+        static_cast<std::uint32_t>(factor_idx.size()) - factors[j].offset;
+  }
+
+  // Flat power table, reused across points: powers[i * stride + k] = x_i^k.
+  std::vector<double> powers(n * stride);
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    const Vec& x = points[p];
+    SCS_REQUIRE(x.size() == n, "evaluate_basis_rows: point dim mismatch");
+    for (std::size_t i = 0; i < n; ++i) {
+      double* pi = powers.data() + i * stride;
+      pi[0] = 1.0;
+      for (int k = 1; k <= max_deg; ++k) pi[k] = pi[k - 1] * x[i];
+    }
+    double* row = out.row_ptr(first_row + p);
+    for (std::size_t j = 0; j < basis.size(); ++j) {
+      double acc = 1.0;
+      const std::uint32_t* idx = factor_idx.data() + factors[j].offset;
+      for (std::uint32_t t = 0; t < factors[j].count; ++t)
+        acc *= powers[idx[t]];
+      row[j] = acc;
+    }
+  }
+}
+
 }  // namespace scs

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "math/mat.hpp"
 #include "math/vec.hpp"
 #include "poly/monomial.hpp"
 
@@ -23,5 +24,16 @@ std::vector<Monomial> monomials_of_degree(std::size_t num_vars, int degree);
 /// Evaluate every basis monomial at x. Precomputes per-variable power tables,
 /// so evaluating a full degree-d basis costs O(v * n) multiplies.
 Vec evaluate_basis(const std::vector<Monomial>& basis, const Vec& x);
+
+/// Batched evaluation: fill out.row(first_row + p) with the basis evaluated
+/// at points[p]. The nonzero-exponent structure of the basis is scanned once
+/// per batch (not once per point) and the power-table buffer is reused, but
+/// each row performs the *same multiplies in the same order* as
+/// evaluate_basis, so the filled rows are bitwise-identical to per-point
+/// evaluation -- this is what lets the PAC scenario stage batch its design
+/// matrix without perturbing golden results.
+void evaluate_basis_rows(const std::vector<Monomial>& basis,
+                         const std::vector<Vec>& points, Mat& out,
+                         std::size_t first_row);
 
 }  // namespace scs

@@ -26,6 +26,7 @@ std::optional<PutinarCertificate> certify_nonnegativity(
   if (degree % 2 != 0) ++degree;
 
   SosProgram prog(n);
+  prog.set_gram_pruning(options.prune_gram);
   const Polynomial one = Polynomial::constant(n, 1.0);
   const Polynomial target =
       f - Polynomial::constant(n, options.margin);

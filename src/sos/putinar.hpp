@@ -25,6 +25,11 @@ struct PutinarOptions {
   SdpOptions sdp;
   double identity_tol = 1e-5;
   double gram_tol = 1e-6;
+  /// Newton-polytope style Gram-basis pruning (SosProgram::set_gram_pruning):
+  /// shrinks the PSD blocks without changing feasibility, but perturbs the
+  /// interior-point trajectory, so it is opt-in to keep default results
+  /// reproducible against older runs.
+  bool prune_gram = false;
 };
 
 struct PutinarCertificate {

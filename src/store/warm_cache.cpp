@@ -1,0 +1,138 @@
+#include "store/warm_cache.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "obs/metrics.hpp"
+#include "util/hash.hpp"
+
+namespace scs {
+
+namespace {
+
+/// Flatten every numeric datum of the problem in a fixed order; two
+/// problems with equal structure keys produce equal-length vectors, so the
+/// Euclidean distance between them is well defined.
+std::vector<double> problem_values(const SdpProblem& problem) {
+  std::vector<double> v;
+  for (const auto& con : problem.constraints) {
+    v.push_back(con.rhs);
+    for (const auto& e : con.entries) v.push_back(e.value);
+    for (const auto& [idx, coeff] : con.free_terms) {
+      (void)idx;
+      v.push_back(coeff);
+    }
+  }
+  for (double w : problem.block_obj_weight) v.push_back(w);
+  for (std::size_t i = 0; i < problem.free_obj.size(); ++i)
+    v.push_back(problem.free_obj[i]);
+  return v;
+}
+
+double relative_distance(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  double diff2 = 0.0, ref2 = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    diff2 += d * d;
+    ref2 += b[i] * b[i];
+  }
+  return std::sqrt(diff2) / (1.0 + std::sqrt(ref2));
+}
+
+}  // namespace
+
+std::uint64_t sdp_structure_key(const SdpProblem& problem) {
+  Fnv1a h;
+  hash_append(h, "sdp-structure-v1");
+  hash_append(h, static_cast<std::uint64_t>(problem.block_dims.size()));
+  for (std::size_t d : problem.block_dims)
+    hash_append(h, static_cast<std::uint64_t>(d));
+  hash_append(h, static_cast<std::uint64_t>(problem.num_free));
+  hash_append(h, static_cast<std::uint64_t>(problem.constraints.size()));
+  for (const auto& con : problem.constraints) {
+    hash_append(h, static_cast<std::uint64_t>(con.entries.size()));
+    for (const auto& e : con.entries) {
+      hash_append(h, static_cast<std::uint64_t>(e.block));
+      hash_append(h, static_cast<std::uint64_t>(e.row));
+      hash_append(h, static_cast<std::uint64_t>(e.col));
+    }
+    hash_append(h, static_cast<std::uint64_t>(con.free_terms.size()));
+    for (const auto& [idx, coeff] : con.free_terms) {
+      (void)coeff;
+      hash_append(h, static_cast<std::uint64_t>(idx));
+    }
+  }
+  return h.digest();
+}
+
+WarmStartCache::WarmStartCache(WarmCacheConfig config)
+    : config_(std::move(config)) {}
+
+std::optional<SdpWarmStart> WarmStartCache::lookup(const SdpProblem& problem) {
+  const auto it = entries_.find(sdp_structure_key(problem));
+  const Entry* best = nullptr;
+  if (it != entries_.end()) {
+    const std::vector<double> query = problem_values(problem);
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (const Entry& entry : it->second) {
+      if (entry.values.size() != query.size()) continue;  // hash collision
+      const double d = relative_distance(entry.values, query);
+      if (d < best_dist) {
+        best_dist = d;
+        best = &entry;
+      }
+    }
+    if (best_dist > config_.max_relative_distance) best = nullptr;
+  }
+  if (best == nullptr) {
+    ++stats_.misses;
+    if (metrics_enabled()) {
+      static Counter& misses =
+          MetricsRegistry::instance().counter("sdp.warm.miss");
+      misses.add(1);
+    }
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  if (metrics_enabled()) {
+    static Counter& hits = MetricsRegistry::instance().counter("sdp.warm.hit");
+    hits.add(1);
+  }
+  return best->warm;
+}
+
+void WarmStartCache::insert(const SdpProblem& problem,
+                            const SdpSolution& solution) {
+  if (solution.status != SdpStatus::kConverged) return;
+  auto& ring = entries_[sdp_structure_key(problem)];
+  ring.push_back(Entry{problem_values(problem), make_warm_start(solution)});
+  if (ring.size() > config_.max_entries_per_key)
+    ring.erase(ring.begin());
+  ++stats_.inserts;
+  if (metrics_enabled()) {
+    static Counter& inserts =
+        MetricsRegistry::instance().counter("sdp.warm.insert");
+    inserts.add(1);
+  }
+}
+
+std::size_t WarmStartCache::size() const {
+  std::size_t n = 0;
+  for (const auto& [key, ring] : entries_) {
+    (void)key;
+    n += ring.size();
+  }
+  return n;
+}
+
+SdpSolution solve_sdp_cached(const SdpProblem& problem,
+                             const SdpOptions& options, WarmStartCache& cache) {
+  const std::optional<SdpWarmStart> warm = cache.lookup(problem);
+  SdpSolution solution =
+      solve_sdp(problem, options, warm ? &*warm : nullptr);
+  cache.insert(problem, solution);
+  return solution;
+}
+
+}  // namespace scs

@@ -1,0 +1,88 @@
+// Warm-start cache for the SDP solver.
+//
+// Re-verifying a perturbed system (a nudged controller, a tightened level
+// set, a PAC model refit) produces an SDP with the *same structure* as the
+// original -- identical block dims, free-variable count, and constraint
+// sparsity -- and nearby numeric data. The final iterates of the original
+// solve are then an excellent interior-point seed: the solver starts deep
+// in the cone with a near-feasible dual, typically saving most of its
+// iterations (see bench_solvers BM_SdpWarmStart).
+//
+// Lookup is two-level:
+//   1. Structure key: an FNV-1a digest of the problem *shape* only (block
+//      dims, free count, entry patterns, free-term indices -- never numeric
+//      values), so any shape-compatible previous solve is a candidate.
+//   2. Value proximity: among cached entries under that key, the nearest in
+//      relative Euclidean distance over the flattened numeric data (rhs,
+//      entry values, free coefficients) wins, and only if it is within
+//      `max_relative_distance` -- a far-away seed is worse than a cold
+//      start, so distant entries are misses.
+//
+// The cache is in-memory and explicitly opt-in: the default synthesis
+// pipeline solves cold so that results never depend on solve order. Hits,
+// misses, and inserts are counted through the MetricsRegistry
+// ("sdp.warm.*"), which rides into the run ledger and report_cli.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "opt/sdp.hpp"
+
+namespace scs {
+
+/// Digest of the problem *shape*: block dims, free-variable count, and each
+/// constraint's entry pattern (block,row,col) plus free-term indices.
+/// Numeric values (entry values, rhs, objectives) are deliberately
+/// excluded, so a perturbed re-verification hashes to the same key.
+std::uint64_t sdp_structure_key(const SdpProblem& problem);
+
+struct WarmCacheConfig {
+  /// Most-recently-inserted entries kept per structure key.
+  std::size_t max_entries_per_key = 4;
+  /// Acceptance radius: ||v_cached - v_query|| / (1 + ||v_query||) must be
+  /// at most this for a cached seed to count as "nearby".
+  double max_relative_distance = 0.25;
+};
+
+struct WarmCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t inserts = 0;
+};
+
+class WarmStartCache {
+ public:
+  explicit WarmStartCache(WarmCacheConfig config = {});
+
+  /// Nearest shape-compatible seed within the acceptance radius, or nullopt
+  /// (counted as hit/miss in both stats() and the "sdp.warm.hit"/".miss"
+  /// metrics).
+  std::optional<SdpWarmStart> lookup(const SdpProblem& problem);
+
+  /// Remember a converged solution as a seed for future lookups. Ignores
+  /// non-converged solutions: a stalled iterate is a poor seed.
+  void insert(const SdpProblem& problem, const SdpSolution& solution);
+
+  const WarmCacheStats& stats() const { return stats_; }
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::vector<double> values;  // flattened numeric data for proximity
+    SdpWarmStart warm;
+  };
+
+  WarmCacheConfig config_;
+  std::map<std::uint64_t, std::vector<Entry>> entries_;
+  WarmCacheStats stats_;
+};
+
+/// Cache-through solve: look up a seed, solve (warm on a hit, cold on a
+/// miss), and insert the result back on convergence.
+SdpSolution solve_sdp_cached(const SdpProblem& problem,
+                             const SdpOptions& options, WarmStartCache& cache);
+
+}  // namespace scs
