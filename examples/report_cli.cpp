@@ -143,6 +143,85 @@ std::string dashboard_markdown(const std::vector<LedgerRecord>& records) {
   return os.str();
 }
 
+/// The most recent fuzz-campaign summary in the ledger (bench records with
+/// source "fuzz_campaign" carry the campaign JSON in values_json).
+const LedgerRecord* latest_fuzz_campaign(
+    const std::vector<LedgerRecord>& records) {
+  const LedgerRecord* latest = nullptr;
+  for (const LedgerRecord& r : records)
+    if (r.kind == "bench" && r.source == "fuzz_campaign" &&
+        !r.values_json.empty())
+      latest = &r;
+  return latest;
+}
+
+void fuzz_bucket_table(std::ostringstream& os, const char* title,
+                       const JsonValue& doc, const char* key) {
+  const JsonValue* buckets = doc.find(key);
+  if (buckets == nullptr || !buckets->is_array() || buckets->items.empty())
+    return;
+  os << "### Success rate by " << title << "\n\n"
+     << "| bucket | runs | verified | rate | mean seconds |\n"
+     << "|---|---|---|---|---|\n";
+  for (const JsonValue& b : buckets->items) {
+    os << "| " << (b.find("bucket") ? b.find("bucket")->string_or("?") : "?")
+       << " | " << (b.find("runs") ? b.find("runs")->int_or(0) : 0) << " | "
+       << (b.find("verified") ? b.find("verified")->int_or(0) : 0) << " | "
+       << fmt(b.find("rate") ? b.find("rate")->number_or(0.0) : 0.0) << " | "
+       << fmt(b.find("mean_seconds")
+                  ? b.find("mean_seconds")->number_or(0.0)
+                  : 0.0)
+       << " |\n";
+  }
+  os << "\n";
+}
+
+/// Render the latest fuzz campaign as bucketed success-rate curves, with
+/// the soundness cross-check verdict up front. Empty string when the
+/// ledger has no campaign record.
+std::string fuzz_markdown(const std::vector<LedgerRecord>& records) {
+  const LedgerRecord* r = latest_fuzz_campaign(records);
+  if (r == nullptr) return {};
+  JsonValue doc;
+  std::string error;
+  if (!json_try_parse(r->values_json, &doc, &error)) return {};
+  const JsonValue* c = doc.find("campaign");
+  if (c == nullptr) return {};
+  std::ostringstream os;
+  const auto num = [&](const char* k) {
+    const JsonValue* v = c->find(k);
+    return v ? v->int_or(0) : std::int64_t{0};
+  };
+  os << "## Fuzz campaign (seed " << num("seed") << ")\n\n"
+     << "Random-family soundness sweep (src/systems/family_gen + "
+        "examples/fuzz_cli): every VERIFIED verdict is re-validated by the "
+        "independent certificate checker.\n\n"
+     << "- systems: " << num("ran") << " ran / " << num("count")
+     << " generated";
+  if (num("skipped") > 0) os << " (" << num("skipped") << " skipped)";
+  os << "\n- verdicts: " << num("verified") << " VERIFIED, "
+     << num("unverified") << " UNVERIFIED\n"
+     << "- independent checker: " << num("checker_accepted") << "/"
+     << num("checked") << " certificates accepted\n"
+     << "- **soundness violations: " << num("soundness_violations")
+     << "**\n\n";
+  fuzz_bucket_table(os, "state dimension", doc, "by_n");
+  fuzz_bucket_table(os, "field degree", doc, "by_degree");
+  fuzz_bucket_table(os, "spectral radius", doc, "by_radius");
+  const JsonValue* violations = doc.find("violations");
+  if (violations != nullptr && violations->is_array() &&
+      !violations->items.empty()) {
+    os << "### Soundness violations\n\n";
+    for (const JsonValue& v : violations->items)
+      os << "- `"
+         << (v.find("benchmark") ? v.find("benchmark")->string_or("?") : "?")
+         << "`: "
+         << (v.find("detail") ? v.find("detail")->string_or("") : "") << "\n";
+    os << "\n";
+  }
+  return os.str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -245,6 +324,9 @@ int main(int argc, char** argv) {
   std::ostringstream md;
   md << "# Run report\n\n";
   if (dashboard) md << dashboard_markdown(all_records) << "\n";
+  // The fuzz section keys off the ledger itself (empty when no campaign
+  // record), so it renders even under --no-dashboard.
+  md << fuzz_markdown(all_records);
   if (!reports.empty()) md << baseline_report_markdown(reports);
 
   if (markdown_path.empty()) {

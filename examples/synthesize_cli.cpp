@@ -16,16 +16,27 @@
 //                       (see src/obs/ledger.hpp; SCS_LEDGER is the env
 //                       equivalent, report_cli the consumer)
 //   --fast              shrunken budgets (smoke tests / CI)
+//   --seed <n>          pipeline seed (default 2024); for gen:<i> targets it
+//                       is also the family seed
+//   --dims <d1,d2,...>  state dimensions of the generated family (gen:<i>
+//                       targets only; must match the fuzz_cli invocation)
+//
+// Besides C1..C10 the benchmark may be "gen:<index>": system <index> of the
+// random family defined by --seed/--dims (src/systems/family_gen) -- the
+// triage path for a system fuzz_cli flagged, reproduced bit for bit.
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "barrier/independent_check.hpp"
 #include "barrier/validation.hpp"
 #include "core/artifacts.hpp"
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
+#include "systems/family_gen.hpp"
 
 namespace {
 
@@ -57,9 +68,22 @@ int run_load(const char* path) {
 void print_usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--cache-dir <dir>] [--no-cache] [--trace <file>]\n"
-            << "       [--metrics <file>] [--ledger <file>] [--fast] "
-            << "<C1..C10> <output-file> "
+            << "       [--metrics <file>] [--ledger <file>] [--fast]\n"
+            << "       [--seed <n>] [--dims <d1,d2,...>] "
+            << "<C1..C10|gen:<index>> <output-file> "
             << "[episodes]\n       " << argv0 << " --load <file>\n";
+}
+
+bool parse_dims(const std::string& text, std::vector<std::size_t>& out) {
+  out.clear();
+  std::stringstream ss(text);
+  std::string part;
+  while (std::getline(ss, part, ',')) {
+    const int v = std::atoi(part.c_str());
+    if (v < 1 || v > 12) return false;
+    out.push_back(static_cast<std::size_t>(v));
+  }
+  return !out.empty();
 }
 
 }  // namespace
@@ -72,10 +96,24 @@ int main(int argc, char** argv) {
   StoreConfig store;
   ObsConfig obs;
   bool fast = false;
+  std::uint64_t seed = 2024;
+  std::vector<std::size_t> dims = {2, 3};
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--no-cache") {
+    if (arg == "--seed") {
+      if (i + 1 >= argc) {
+        std::cerr << "--seed needs a number argument\n";
+        return 2;
+      }
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--dims") {
+      if (i + 1 >= argc || !parse_dims(argv[i + 1], dims)) {
+        std::cerr << "--dims needs a comma-separated list in 1..12\n";
+        return 2;
+      }
+      ++i;
+    } else if (arg == "--no-cache") {
       store.mode = StoreConfig::Mode::kOff;
     } else if (arg == "--cache-dir") {
       if (i + 1 >= argc) {
@@ -114,37 +152,84 @@ int main(int argc, char** argv) {
   }
 
   const std::string& name = positional[0];
-  for (const auto id : all_benchmark_ids()) {
-    const Benchmark bench = make_benchmark(id);
-    if (bench.name != name) continue;
-
-    PipelineConfig config;
-    config.seed = 2024;
-    config.store = store;
-    config.obs = obs;
-    config.fast_mode = fast;
-    if (positional.size() > 2)
-      config.rl_episodes = std::atoi(positional[2].c_str());
-    config.pac_fit.max_samples = 50000;
-    const SynthesisResult result = synthesize(bench, config);
-    std::cout << "timings: " << stage_timings_json(result) << "\n";
-    if (!obs.trace_path.empty())
-      std::cout << "trace written to " << obs.trace_path << "\n";
-    if (!obs.metrics_path.empty())
-      std::cout << "metrics written to " << obs.metrics_path << "\n";
-    if (!obs.ledger_path.empty())
-      std::cout << "ledger record appended to " << obs.ledger_path << "\n";
-    if (!result.success) {
-      std::cerr << "synthesis failed at stage '" << result.failure_stage
-                << "': " << result.barrier.failure_reason << "\n";
-      return 1;
+  Benchmark bench;
+  bool resolved = false;
+  bool generated = false;
+  if (name.rfind("gen:", 0) == 0) {
+    // Reproduce system <index> of the fuzz family defined by --seed/--dims
+    // (bitwise-identical to what fuzz_cli ran with the same knobs).
+    const long index = std::atol(name.c_str() + 4);
+    if (index < 0) {
+      std::cerr << "gen:<index> needs a non-negative index\n";
+      return 2;
     }
-    save_artifacts_file(artifacts_from(result, bench.ccds.num_states),
-                        positional[1]);
-    std::cout << "verified controller + certificate written to "
-              << positional[1] << "\n";
-    return 0;
+    FamilyConfig family;
+    family.seed = seed;
+    family.state_dims = dims;
+    const GeneratedSystem gs =
+        generate_system(family, static_cast<std::size_t>(index));
+    bench = gs.benchmark;
+    resolved = true;
+    generated = true;
+    std::cout << "generated system " << bench.name << ": n="
+              << gs.descriptor.num_states << ", d_f=" << gs.descriptor.degree
+              << ", spectral radius " << gs.descriptor.spectral_radius
+              << (gs.descriptor.obstacle ? ", obstacle" : ", shell") << "\n";
+  } else {
+    for (const auto id : all_benchmark_ids()) {
+      Benchmark candidate = make_benchmark(id);
+      if (candidate.name != name) continue;
+      bench = std::move(candidate);
+      resolved = true;
+      break;
+    }
   }
-  std::cerr << "unknown benchmark '" << name << "' (expected C1..C10)\n";
-  return 2;
+  if (!resolved) {
+    std::cerr << "unknown benchmark '" << name
+              << "' (expected C1..C10 or gen:<index>)\n";
+    return 2;
+  }
+
+  PipelineConfig config;
+  config.seed = seed;
+  config.store = store;
+  config.obs = obs;
+  config.fast_mode = fast;
+  if (positional.size() > 2)
+    config.rl_episodes = std::atoi(positional[2].c_str());
+  config.pac_fit.max_samples = 50000;
+  const SynthesisResult result = synthesize(bench, config);
+  std::cout << "timings: " << stage_timings_json(result) << "\n";
+  if (!obs.trace_path.empty())
+    std::cout << "trace written to " << obs.trace_path << "\n";
+  if (!obs.metrics_path.empty())
+    std::cout << "metrics written to " << obs.metrics_path << "\n";
+  if (!obs.ledger_path.empty())
+    std::cout << "ledger record appended to " << obs.ledger_path << "\n";
+  if (result.barrier.success && (generated || result.success)) {
+    // Cross-check the certificate with the solver-state-free checker (the
+    // fuzz campaign's soundness oracle) and show the per-condition verdicts
+    // -- this is the triage view for a flagged system.
+    const IndependentCheckReport chk =
+        independent_check(bench.ccds, result.controller, result.barrier,
+                          config.barrier.rho);
+    std::cout << "independent check: " << chk.detail << "\n";
+    for (const ConditionCheck& c : chk.conditions) {
+      if (c.passed || c.witness.empty()) continue;
+      std::cout << "  " << c.name << " witness: (";
+      for (std::size_t i = 0; i < c.witness.size(); ++i)
+        std::cout << (i ? ", " : "") << c.witness[i];
+      std::cout << ")\n";
+    }
+  }
+  if (!result.success) {
+    std::cerr << "synthesis failed at stage '" << result.failure_stage
+              << "': " << result.barrier.failure_reason << "\n";
+    return 1;
+  }
+  save_artifacts_file(artifacts_from(result, bench.ccds.num_states),
+                      positional[1]);
+  std::cout << "verified controller + certificate written to "
+            << positional[1] << "\n";
+  return 0;
 }

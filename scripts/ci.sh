@@ -18,6 +18,11 @@
 #                            # + bench_solvers vs baselines/*.json via
 #                            # report_cli, plus a negative check that a
 #                            # violated baseline exits nonzero
+#   scripts/ci.sh fuzz       # soundness fuzz campaign: fuzz-labeled tests,
+#                            # then a 64-system fixed-seed fuzz_cli run with
+#                            # zero tolerated soundness violations, gated by
+#                            # baselines/fuzz_campaign.json, plus a negative
+#                            # perturbed-certificate check
 #   scripts/ci.sh simd       # SCS_SIMD=OFF build + full tests (the scalar
 #                            # fallback must stand alone), then the
 #                            # simd-labeled suite under ubsan so the
@@ -174,6 +179,48 @@ run_perf() {
   rm -rf "${tmp}"
 }
 
+run_fuzz() {
+  echo "==> Soundness fuzz suite (fuzz-labeled tests)"
+  cmake --preset default
+  cmake --build --preset default -j "${JOBS}" \
+      --target family_gen_test independent_check_test fuzz_campaign_test \
+      fuzz_cli report_cli
+  (cd build && ctest -L fuzz --output-on-failure)
+
+  echo "==> 64-system fixed-seed fuzz campaign (zero tolerated violations)"
+  # Fixed seed + fixed count keep the campaign bit-reproducible, so the
+  # baseline can pin exact counts, not just bounds. fuzz_cli itself exits 1
+  # on any VERIFIED-but-checker-rejected system; the baseline additionally
+  # pins the verified rate so a silent collapse to all-UNVERIFIED (which
+  # would make the soundness check vacuous) also fails CI.
+  local tmp
+  tmp="$(mktemp -d)"
+  ./build/examples/fuzz_cli --seed 2024 --count 64 --dims 2,3 \
+      --fast --episodes 10 --no-cache \
+      --ledger "${tmp}/fuzz.jsonl" --summary "${tmp}/fuzz.json"
+
+  ./build/examples/report_cli \
+      --ledger "${tmp}/fuzz.jsonl" --no-dashboard \
+      --baseline baselines/fuzz_campaign.json \
+      --markdown "${tmp}/report.md" --json "${tmp}/report.json"
+  grep -q 'Fuzz campaign' "${tmp}/report.md" || {
+    echo "report.md is missing the fuzz-campaign section" >&2; exit 1; }
+
+  echo "==> Negative check: a violated fuzz baseline must exit nonzero"
+  # Demand an impossible verified count from the same ledger; report_cli
+  # must fail, proving the gate actually reads the campaign record.
+  printf '%s\n' \
+    '{"schema":1,"name":"tampered_fuzz","metrics":{' \
+    ' "fuzz_campaign.campaign.verified":{"kind":"min","value":10000}}}' \
+    > "${tmp}/tampered_fuzz.json"
+  if ./build/examples/report_cli --ledger "${tmp}/fuzz.jsonl" \
+      --no-dashboard --baseline "${tmp}/tampered_fuzz.json" > /dev/null; then
+    echo "report_cli passed a deliberately violated fuzz baseline" >&2
+    exit 1
+  fi
+  rm -rf "${tmp}"
+}
+
 run_simd() {
   echo "==> SCS_SIMD=OFF build + full test suite (scalar kernels only)"
   cmake --preset scalar
@@ -196,9 +243,10 @@ case "${1:-all}" in
   store)   run_store ;;
   obs)     run_obs ;;
   perf)    run_perf ;;
+  fuzz)    run_fuzz ;;
   simd)    run_simd ;;
-  all)     run_release; run_asan; run_ubsan; run_store; run_obs; run_perf; run_simd ;;
-  *) echo "unknown configuration: $1 (want release|asan|ubsan|fault|store|obs|perf|simd|all)" >&2
+  all)     run_release; run_asan; run_ubsan; run_store; run_obs; run_perf; run_fuzz; run_simd ;;
+  *) echo "unknown configuration: $1 (want release|asan|ubsan|fault|store|obs|perf|fuzz|simd|all)" >&2
      exit 2 ;;
 esac
 

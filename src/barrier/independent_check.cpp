@@ -1,0 +1,285 @@
+#include "barrier/independent_check.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <sstream>
+
+#include "poly/lie.hpp"
+#include "sos/interval.hpp"
+#include "util/check.hpp"
+
+namespace scs {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Cells per axis so that per_dim^n <= budget (0 when even 2 per axis
+/// overflows the budget -- pure-MC fallback for high dimensions).
+std::size_t grid_per_dim(std::size_t dim, std::size_t budget) {
+  std::size_t per_dim = 0;
+  for (std::size_t cand = 2;; ++cand) {
+    double cells = 1.0;
+    for (std::size_t i = 0; i < dim; ++i) cells *= static_cast<double>(cand);
+    if (cells > static_cast<double>(budget)) break;
+    per_dim = cand;
+    if (per_dim >= 64) break;  // 1-D/2-D: 64 cells per axis is plenty
+  }
+  return per_dim;
+}
+
+/// All points of `set` used for one condition: grid points of the sampling
+/// box that lie in the set, plus MC draws from the set itself. MC failure
+/// (a set too thin for rejection sampling) degrades to grid-only.
+struct PointSet {
+  std::vector<Vec> points;
+  bool mc_failed = false;
+};
+
+PointSet collect_points(const SemialgebraicSet& set,
+                        const IndependentCheckConfig& config, Rng& rng) {
+  PointSet out;
+  const std::size_t per_dim = grid_per_dim(set.dim(), config.grid_budget);
+  if (per_dim >= 2) {
+    for (const Vec& x : set.sampling_box().grid(per_dim))
+      if (set.contains(x)) out.points.push_back(x);
+  }
+  try {
+    for (std::size_t i = 0; i < config.mc_samples; ++i)
+      out.points.push_back(set.sample(rng));
+  } catch (const std::exception&) {
+    out.mc_failed = true;
+  }
+  return out;
+}
+
+/// Certified extremum of `p` over set `S` intersected with its sampling
+/// box, from per-cell interval enclosures: a cell counts when every
+/// defining inequality's enclosure allows g_i >= 0 somewhere in it
+/// (conservative intersection test), and the bound aggregates the worst
+/// enclosure end over all such cells. Returns NaN when the dimension is too
+/// high for the cell budget.
+double interval_extremum(const Polynomial& p, const SemialgebraicSet& set,
+                         std::size_t budget, bool want_min) {
+  const std::size_t dim = set.dim();
+  const std::size_t per_dim = grid_per_dim(dim, budget);
+  if (per_dim < 2) return std::numeric_limits<double>::quiet_NaN();
+  const Box& box = set.sampling_box();
+  std::vector<double> step(dim);
+  for (std::size_t i = 0; i < dim; ++i)
+    step[i] = (box.hi[i] - box.lo[i]) / static_cast<double>(per_dim);
+
+  std::vector<std::size_t> idx(dim, 0);
+  double bound = want_min ? kInf : -kInf;
+  for (;;) {
+    Vec lo(dim, 0.0), hi(dim, 0.0);
+    for (std::size_t i = 0; i < dim; ++i) {
+      lo[i] = box.lo[i] + step[i] * static_cast<double>(idx[i]);
+      hi[i] = (idx[i] + 1 == per_dim) ? box.hi[i] : lo[i] + step[i];
+    }
+    const Box cell(lo, hi);
+    bool may_intersect = true;
+    for (const Polynomial& g : set.inequalities()) {
+      if (interval_enclosure(g, cell).hi < 0.0) {
+        may_intersect = false;
+        break;
+      }
+    }
+    if (may_intersect) {
+      const Interval enc = interval_enclosure(p, cell);
+      bound = want_min ? std::min(bound, enc.lo) : std::max(bound, enc.hi);
+    }
+    // Odometer over the cell indices.
+    std::size_t d = 0;
+    while (d < dim && ++idx[d] == per_dim) idx[d++] = 0;
+    if (d == dim) break;
+  }
+  return bound;
+}
+
+/// Sampled extremum of `value` over `points`, with the witness location.
+ConditionCheck sampled_extremum(const std::string& name,
+                                const std::vector<Vec>& points, bool want_min,
+                                const std::function<double(const Vec&)>& value) {
+  ConditionCheck check;
+  check.name = name;
+  check.points = points.size();
+  check.worst = want_min ? kInf : -kInf;
+  for (const Vec& x : points) {
+    const double v = value(x);
+    if (want_min ? (v < check.worst) : (v > check.worst)) {
+      check.worst = v;
+      check.witness = x;
+    }
+  }
+  return check;
+}
+
+}  // namespace
+
+const ConditionCheck* IndependentCheckReport::find(
+    const std::string& name) const {
+  for (const ConditionCheck& c : conditions)
+    if (c.name == name) return &c;
+  return nullptr;
+}
+
+IndependentCheckReport independent_check(
+    const Ccds& system, const std::vector<Polynomial>& controller,
+    const Polynomial& barrier, const Polynomial& lambda, double rho,
+    const IndependentCheckConfig& config) {
+  SCS_REQUIRE(barrier.num_vars() == system.num_states,
+              "independent_check: barrier variable count mismatch");
+  IndependentCheckReport report;
+  const auto closed = system.closed_loop(controller);
+  const Polynomial lie = lie_derivative(barrier, closed);
+  const bool with_lambda =
+      config.check_lambda_identity && lambda.num_vars() == system.num_states;
+  // decrease = L_f B - lambda B, the polynomial (ii') bounds below by rho.
+  const Polynomial decrease =
+      with_lambda ? lie - lambda * barrier : Polynomial(system.num_states);
+
+  // Own substreams per set: bitwise-deterministic (the checker is serial)
+  // and unrelated to any Rng the pipeline used.
+  Rng root(config.seed);
+  std::vector<Rng> streams = root.fork_streams(3);
+  const PointSet theta = collect_points(system.init_set, config, streams[0]);
+  const PointSet unsafe = collect_points(system.unsafe_set, config, streams[1]);
+  const PointSet domain = collect_points(system.domain, config, streams[2]);
+
+  const auto eval_b = [&](const Vec& x) { return barrier.evaluate(x); };
+
+  std::vector<double> b_on_domain(domain.points.size());
+  for (std::size_t i = 0; i < domain.points.size(); ++i)
+    b_on_domain[i] = barrier.evaluate(domain.points[i]);
+  for (double v : b_on_domain)
+    report.scale = std::max(report.scale, std::fabs(v));
+  const double margin = config.tolerance * std::max(1.0, report.scale);
+
+  // (i) B >= 0 on Theta.
+  {
+    ConditionCheck c = sampled_extremum("init", theta.points,
+                                        /*want_min=*/true, eval_b);
+    c.threshold = -margin;
+    c.interval_bound = interval_extremum(barrier, system.init_set,
+                                         config.grid_budget, /*want_min=*/true);
+    c.certified = std::isfinite(c.interval_bound) &&
+                  c.interval_bound >= c.threshold;
+    c.passed = c.points > 0 && (c.worst >= c.threshold || c.certified);
+    report.conditions.push_back(std::move(c));
+  }
+
+  // (ii) B < 0 on X_u.
+  {
+    ConditionCheck c = sampled_extremum("unsafe", unsafe.points,
+                                        /*want_min=*/false, eval_b);
+    c.threshold = margin;
+    c.interval_bound = interval_extremum(barrier, system.unsafe_set,
+                                         config.grid_budget,
+                                         /*want_min=*/false);
+    c.certified = std::isfinite(c.interval_bound) &&
+                  c.interval_bound < c.threshold;
+    c.passed = c.points > 0 && (c.worst < c.threshold || c.certified);
+    report.conditions.push_back(std::move(c));
+  }
+
+  // (iii) L_f B > 0 on the zero level set of B within Psi. The level set
+  // may be thin; widen the band like the stage-4 validator does. An empty
+  // band after widening passes vacuously -- the lambda identity below is
+  // the non-vacuous guard.
+  //
+  // The band has finite width, and inside it the theorem only guarantees
+  // L_f B >= lambda(x) B(x) + rho -- with lambda > 0 and B slightly
+  // negative, L_f B may legitimately dip below zero. So with lambda in
+  // hand we check the exact pointwise bound (decrease >= rho) on the band;
+  // only the no-lambda fallback uses the heuristic L_f B >= -margin, whose
+  // unaccounted sup|lambda|*band slack can falsely reject near-boundary
+  // points of genuine certificates.
+  {
+    const Polynomial& band_poly = with_lambda ? decrease : lie;
+    double band_scale = 0.0;
+    for (const Vec& x : domain.points)
+      band_scale = std::max(band_scale, std::fabs(band_poly.evaluate(x)));
+    const double band_margin = config.tolerance * std::max(1.0, band_scale);
+    double band = config.boundary_band * std::max(report.scale, 1e-9);
+    ConditionCheck c;
+    c.name = "lie_band";
+    c.interval_bound = std::numeric_limits<double>::quiet_NaN();
+    for (int widen = 0; widen < 6 && c.points == 0; ++widen) {
+      c.worst = kInf;
+      for (std::size_t i = 0; i < domain.points.size(); ++i) {
+        if (std::fabs(b_on_domain[i]) > band) continue;
+        const double v = band_poly.evaluate(domain.points[i]);
+        if (v < c.worst) {
+          c.worst = v;
+          c.witness = domain.points[i];
+        }
+        ++c.points;
+      }
+      if (c.points == 0) band *= 2.0;
+    }
+    c.threshold = with_lambda ? rho - band_margin : -band_margin;
+    c.passed = c.points == 0 || c.worst >= c.threshold;
+    report.conditions.push_back(std::move(c));
+  }
+
+  // (ii') L_f B - lambda B >= rho on Psi -- the identity the Putinar
+  // program actually certified (its Psi multipliers are non-negative on
+  // Psi, so the certified polynomial bounds the left side from below).
+  if (with_lambda) {
+    double dec_scale = 0.0;
+    std::vector<double> dec(domain.points.size());
+    for (std::size_t i = 0; i < domain.points.size(); ++i) {
+      dec[i] = decrease.evaluate(domain.points[i]);
+      dec_scale = std::max(dec_scale, std::fabs(dec[i]));
+    }
+    const double dec_margin = config.tolerance * std::max(1.0, dec_scale);
+    ConditionCheck c;
+    c.name = "lambda_identity";
+    c.worst = kInf;
+    c.points = domain.points.size();
+    for (std::size_t i = 0; i < domain.points.size(); ++i) {
+      if (dec[i] < c.worst) {
+        c.worst = dec[i];
+        c.witness = domain.points[i];
+      }
+    }
+    c.threshold = rho - dec_margin;
+    c.interval_bound = interval_extremum(decrease, system.domain,
+                                         config.grid_budget,
+                                         /*want_min=*/true);
+    c.certified = std::isfinite(c.interval_bound) &&
+                  c.interval_bound >= c.threshold;
+    c.passed = c.points > 0 && (c.worst >= c.threshold || c.certified);
+    report.conditions.push_back(std::move(c));
+  }
+
+  report.accepted = true;
+  for (const ConditionCheck& c : report.conditions)
+    report.accepted = report.accepted && c.passed;
+
+  std::ostringstream os;
+  os << (report.accepted ? "ACCEPTED" : "REJECTED");
+  for (const ConditionCheck& c : report.conditions) {
+    os << "; " << c.name << (c.passed ? " ok" : " VIOLATED") << " worst="
+       << c.worst << " thr=" << c.threshold << " (" << c.points << " pts";
+    if (c.certified) os << ", certified";
+    os << ")";
+  }
+  if (theta.mc_failed || unsafe.mc_failed || domain.mc_failed)
+    os << "; MC degraded to grid-only on some set";
+  report.detail = os.str();
+  return report;
+}
+
+IndependentCheckReport independent_check(
+    const Ccds& system, const std::vector<Polynomial>& controller,
+    const BarrierResult& result, double rho,
+    const IndependentCheckConfig& config) {
+  return independent_check(system, controller, result.barrier, result.lambda,
+                           rho, config);
+}
+
+}  // namespace scs

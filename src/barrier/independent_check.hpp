@@ -1,0 +1,106 @@
+// Independent certificate checker: re-validates a VERIFIED synthesis result
+// from nothing but the system, the controller, and the certificate itself.
+//
+// validate_barrier (stage 4) runs inside the pipeline and shares its Rng
+// discipline and tolerances with the code that produced the certificate; a
+// bug there could systematically excuse the SOS stage's mistakes. This
+// checker is the fuzz campaign's backstop (examples/fuzz_cli): it reuses no
+// solver state, draws from its own seed, and checks the three barrier
+// conditions of Theorem 1 on a dense grid plus Monte-Carlo points, with
+// interval-padded margins:
+//
+//   (i)   B(x) >= 0            on Theta
+//   (ii)  B(x) <  0            on X_u
+//   (iii) L_f B(x) > 0         on the zero level set of B within Psi
+//
+// plus the lambda identity the Putinar program actually certifies,
+//
+//   (ii') L_f B(x) - lambda(x) B(x) >= rho   on Psi,
+//
+// which is strictly stronger than (iii) and is what makes a tampered
+// lambda detectable at all. The (iii) band has finite width, and inside it
+// the theorem only bounds L_f B by lambda(x)B(x) + rho -- so when lambda is
+// available the band check evaluates that exact pointwise bound, and only
+// the no-lambda fallback uses the heuristic L_f B >= -margin (which cannot
+// account for the sup|lambda|*band slack). Every per-cell interval
+// enclosure is also
+// aggregated into a *certified* lower bound over the set; when that bound
+// already clears the threshold the condition is marked `certified` (a
+// proof up to rounding, not just a sampled check).
+//
+// Accept/reject is driven by the sampled worst values with margins relative
+// to the certificate's magnitude (Gram-rounding noise must not fail a
+// genuine certificate); `certified` is reported per condition.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "barrier/synthesis.hpp"
+#include "poly/polynomial.hpp"
+#include "systems/ccds.hpp"
+
+namespace scs {
+
+struct IndependentCheckConfig {
+  /// Cap on grid cells per condition (per_dim^n <= grid_budget; dimensions
+  /// too high for a 2-point-per-axis grid fall back to pure MC).
+  std::size_t grid_budget = 4096;
+  /// Monte-Carlo samples per set, drawn from the checker's own seed.
+  std::size_t mc_samples = 4000;
+  /// Relative tolerance: thresholds are tolerance * max(1, certificate
+  /// scale over the domain). Rigorous margins live in the SOS rho / rho';
+  /// this only absorbs floating-point and Gram rounding.
+  double tolerance = 5e-3;
+  /// Relative half-width of the |B| <= band level-set band in (iii).
+  double boundary_band = 0.05;
+  /// The checker's own Rng seed -- deliberately unrelated to the pipeline's.
+  std::uint64_t seed = 0x5afec4ec;
+  /// Check the lambda identity (ii') when a lambda polynomial is provided.
+  bool check_lambda_identity = true;
+};
+
+/// One condition's verdict. `worst` is the extremal sampled value (minimum
+/// for >=-type conditions, maximum for (ii)); the condition passed iff it
+/// clears `threshold` on the right side.
+struct ConditionCheck {
+  std::string name;         // "init" | "unsafe" | "lie_band" | "lambda_identity"
+  bool passed = false;
+  bool certified = false;   // interval bound alone already proves it
+  double worst = 0.0;
+  double threshold = 0.0;
+  /// Certified extremal bound from the per-cell interval enclosures (worst
+  /// direction); NaN when the grid was skipped.
+  double interval_bound = 0.0;
+  std::size_t points = 0;   // samples actually inside the set / band
+  Vec witness;              // location of `worst`
+};
+
+struct IndependentCheckReport {
+  bool accepted = false;
+  /// max |B| over domain samples; margin reference for every threshold.
+  double scale = 0.0;
+  std::vector<ConditionCheck> conditions;
+  std::string detail;  // one-line human summary
+
+  /// Lookup by condition name; nullptr when absent.
+  const ConditionCheck* find(const std::string& name) const;
+};
+
+/// Re-validate a barrier certificate. `lambda` may be a default-constructed
+/// Polynomial (num_vars() == 0) to skip the lambda identity; `rho` is the
+/// strict-decrease margin the SOS program claimed (BarrierConfig::rho).
+IndependentCheckReport independent_check(
+    const Ccds& system, const std::vector<Polynomial>& controller,
+    const Polynomial& barrier, const Polynomial& lambda, double rho,
+    const IndependentCheckConfig& config = {});
+
+/// Convenience: pull barrier / lambda out of a BarrierResult (rho comes
+/// from the caller's BarrierConfig; the result does not store it).
+IndependentCheckReport independent_check(
+    const Ccds& system, const std::vector<Polynomial>& controller,
+    const BarrierResult& result, double rho,
+    const IndependentCheckConfig& config = {});
+
+}  // namespace scs

@@ -287,6 +287,10 @@ Benchmark make_benchmark(BenchmarkId id) {
         return make_c9();
       case BenchmarkId::kC10:
         return make_c10();
+      case BenchmarkId::kGenerated:
+        throw PreconditionError(
+            "make_benchmark: generated systems come from "
+            "generate_system (src/systems/family_gen), not make_benchmark");
     }
     throw PreconditionError("make_benchmark: unknown id");
   }();
@@ -321,6 +325,7 @@ void hash_append(Fnv1a& h, const RlBudget& b) {
 }
 
 void hash_append(Fnv1a& h, const Benchmark& b) {
+  hash_append(h, static_cast<int>(b.id));
   hash_append(h, b.name);
   hash_append(h, b.ccds);
   hash_append(h, b.hidden_layers);

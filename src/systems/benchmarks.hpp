@@ -24,6 +24,11 @@ enum class BenchmarkId {
   kC8,   // reaction network [11],    n=9,  d_f=2
   kC9,   // reaction network with obstacle [11], n=9, d_f=2
   kC10,  // linearized quadrotor [7], n=12, d_f=1
+  /// A system produced by the family generator (src/systems/family_gen);
+  /// never buildable via make_benchmark. The distinct id is folded into the
+  /// benchmark content hash so a generated system can never collide with a
+  /// C1..C10 stage-cache entry even if names or dynamics were ever equal.
+  kGenerated,
 };
 
 /// PAC approximation settings (Algorithm 1 inputs) tuned per benchmark.

@@ -103,6 +103,9 @@ struct GoldenRecord {
   std::string failure_stage;
   std::string controller;  // polynomial, full precision
   std::string barrier;     // polynomial, full precision (empty if none)
+  std::string lambda;      // the certificate's lambda(x) (empty if none);
+                           // consumed by independent_check_test as the
+                           // stored-certificate input for perturbation tests
   double pac_error = 0.0;
   double pac_eps = 0.0;
   int pac_degree = 0;
@@ -117,6 +120,7 @@ GoldenRecord record_of(const SynthesisResult& result) {
     rec.controller = result.controller.front().to_string(17);
   if (result.barrier.success) {
     rec.barrier = result.barrier.barrier.to_string(17);
+    rec.lambda = result.barrier.lambda.to_string(17);
     rec.barrier_degree = result.barrier.degree;
   }
   rec.pac_error = result.pac.model.error;
@@ -134,6 +138,7 @@ void save_golden(const GoldenRecord& rec, const std::string& path) {
      << "  \"failure_stage\": \"" << json_escape(rec.failure_stage) << "\",\n"
      << "  \"controller\": \"" << json_escape(rec.controller) << "\",\n"
      << "  \"barrier\": \"" << json_escape(rec.barrier) << "\",\n"
+     << "  \"lambda\": \"" << json_escape(rec.lambda) << "\",\n"
      << "  \"pac_error\": " << rec.pac_error << ",\n"
      << "  \"pac_eps\": " << rec.pac_eps << ",\n"
      << "  \"pac_degree\": " << rec.pac_degree << ",\n"
@@ -153,6 +158,7 @@ GoldenRecord load_golden(const std::string& path, bool& found) {
   rec.failure_stage = extract_string(json, "failure_stage");
   rec.controller = extract_string(json, "controller");
   rec.barrier = extract_string(json, "barrier");
+  rec.lambda = extract_string(json, "lambda");
   rec.pac_error = extract_number(json, "pac_error");
   rec.pac_eps = extract_number(json, "pac_eps");
   rec.pac_degree = static_cast<int>(extract_number(json, "pac_degree"));
@@ -193,6 +199,7 @@ void compare_to_golden(const SynthesisResult& result,
               kScalarTol * std::max(1.0, std::fabs(want.pac_eps)));
   expect_poly_near(rec.controller, want.controller, num_vars, "controller");
   expect_poly_near(rec.barrier, want.barrier, num_vars, "barrier");
+  expect_poly_near(rec.lambda, want.lambda, num_vars, "lambda");
 }
 
 /// Run at an explicit worker count, restoring the default afterwards.
