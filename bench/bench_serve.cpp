@@ -1,0 +1,165 @@
+// Serving benchmark: cold vs warm-hit latency through an in-process
+// SynthesisServer on C1, plus the exactly-one-cold dedupe guarantee under
+// a burst of duplicate submissions. Results are printed and written to
+// BENCH_serve.json; the self-checks mirror the acceptance criteria
+// (warm hit >= 100x faster than cold, one cold run per unique key).
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/job.hpp"
+#include "obs/ledger.hpp"
+#include "serve/request.hpp"
+#include "serve/server.hpp"
+#include "util/stopwatch.hpp"
+
+namespace scs {
+namespace {
+
+bool controllers_identical(const std::vector<Polynomial>& a,
+                           const std::vector<Polynomial>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].to_string(17) != b[i].to_string(17)) return false;
+  return true;
+}
+
+JobRequest bench_request(std::uint64_t seed) {
+  JobRequest r;
+  r.benchmark = "C1";
+  r.seed = seed;
+  r.fast_mode = true;
+  r.rl_episodes = 2;
+  return r;
+}
+
+}  // namespace
+}  // namespace scs
+
+int main() {
+  using namespace scs;
+  namespace fs = std::filesystem;
+
+  const fs::path cache_dir =
+      fs::temp_directory_path() / "scs_bench_serve_cache";
+  std::error_code ec;
+  fs::remove_all(cache_dir, ec);  // start cold
+
+  ServerConfig config;
+  config.workers = 2;
+  config.store.mode = StoreConfig::Mode::kOn;
+  config.store.cache_dir = cache_dir.string();
+  SynthesisServer server(config);
+
+  std::cout << "=== Serving benchmark (C1 fast, cache at " << cache_dir
+            << ") ===\n";
+
+  // Cold path: first submission of the key runs the full pipeline.
+  const JobRequest request = bench_request(11);
+  Stopwatch cold_sw;
+  const SynthesisServer::Submit cold = server.submit(request);
+  const std::shared_ptr<const SynthesisResult> cold_result =
+      server.wait(cold.key);
+  const double cold_s = cold_sw.seconds();
+  const bool cold_ok =
+      cold.kind == SynthesisServer::Submit::Kind::kAccepted &&
+      cold_result != nullptr;
+
+  // Warm path: the same request answered from the dedupe map. Average a
+  // batch of repeats -- a single hit is microseconds and too noisy alone.
+  constexpr int kWarmReps = 64;
+  bool warm_ok = true;
+  Stopwatch warm_sw;
+  for (int i = 0; i < kWarmReps; ++i) {
+    const SynthesisServer::Submit hit = server.submit(request);
+    warm_ok = warm_ok && hit.kind == SynthesisServer::Submit::Kind::kWarmHit;
+  }
+  const double warm_s = warm_sw.seconds() / kWarmReps;
+  const std::shared_ptr<const SynthesisResult> warm_result =
+      server.result(cold.key);
+  const bool identical =
+      warm_result != nullptr && cold_result != nullptr &&
+      warm_result->verdict == cold_result->verdict &&
+      controllers_identical(warm_result->controller, cold_result->controller);
+  const double speedup = warm_s > 0.0 ? cold_s / warm_s : 0.0;
+
+  // Dedupe burst: many threads race to submit one fresh key; exactly one
+  // may win the cold slot, everyone else attaches or hits warm.
+  const JobRequest burst = bench_request(12);
+  const std::uint64_t cold_before = server.cold_runs();
+  constexpr int kBurstThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kBurstThreads);
+  for (int t = 0; t < kBurstThreads; ++t)
+    threads.emplace_back([&server, &burst] {
+      const SynthesisServer::Submit s = server.submit(burst);
+      server.wait(s.key);
+    });
+  for (std::thread& t : threads) t.join();
+  server.wait(serve_key(burst));
+  const std::uint64_t burst_cold_runs = server.cold_runs() - cold_before;
+  const bool exactly_one_cold = burst_cold_runs == 1;
+
+  server.drain();
+
+  std::cout << "  cold submit+wait: " << cold_s << " s (verdict "
+            << (cold_result ? cold_result->verdict : "<none>") << ")\n"
+            << "  warm hit:         " << warm_s * 1e6 << " us (avg of "
+            << kWarmReps << "), speedup " << speedup << "x\n"
+            << "  results identical: " << (identical ? "yes" : "NO") << "\n"
+            << "  duplicate burst:   " << kBurstThreads << " submitters, "
+            << burst_cold_runs << " cold run(s)\n"
+            << "  totals: submitted " << server.submitted() << ", cold "
+            << server.cold_runs() << ", warm hits " << server.warm_hits()
+            << ", duplicates " << server.duplicates() << "\n";
+
+  std::ostringstream json;
+  json << "{\"benchmark\":\"C1\""
+       << ",\"cold_seconds\":" << cold_s
+       << ",\"warm_hit_seconds\":" << warm_s
+       << ",\"warm_hit_micros\":" << warm_s * 1e6
+       << ",\"warm_hit_speedup\":" << speedup
+       << ",\"results_identical\":" << (identical ? "true" : "false")
+       << ",\"burst_threads\":" << kBurstThreads
+       << ",\"burst_cold_runs\":" << burst_cold_runs
+       << ",\"exactly_one_cold\":" << (exactly_one_cold ? "true" : "false")
+       << ",\"cold_runs\":" << server.cold_runs()
+       << ",\"warm_hits\":" << server.warm_hits() << "}";
+  std::ofstream("BENCH_serve.json") << json.str() << "\n";
+  std::cout << "wrote BENCH_serve.json\n";
+  if (ledger_append_bench("bench_serve", json.str()))
+    std::cout << "ledger record appended to " << resolve_ledger_path("")
+              << "\n";
+
+  fs::remove_all(cache_dir, ec);
+
+  bool ok = true;
+  if (!cold_ok) {
+    std::cerr << "FAIL: cold submission did not run\n";
+    ok = false;
+  }
+  if (!warm_ok) {
+    std::cerr << "FAIL: repeat submission was not a warm hit\n";
+    ok = false;
+  }
+  if (!identical) {
+    std::cerr << "FAIL: warm result differs from cold result\n";
+    ok = false;
+  }
+  if (speedup < 100.0) {
+    std::cerr << "FAIL: warm hit only " << speedup
+              << "x faster than cold (need >= 100x)\n";
+    ok = false;
+  }
+  if (!exactly_one_cold) {
+    std::cerr << "FAIL: duplicate burst ran " << burst_cold_runs
+              << " cold synthesis runs (need exactly 1)\n";
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

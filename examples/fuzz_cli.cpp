@@ -26,8 +26,11 @@
 //                     from cached stages instead of recomputing
 //   --no-cache        disable the artifact store
 //   --summary <file>  also write the campaign summary JSON to this file
-//   --max-seconds <s> soft time budget: stop launching new systems once
-//                     elapsed (skipped systems are reported, not failed)
+//   --max-seconds <s> time budget: stop launching new systems once elapsed
+//                     (skipped systems are reported, not failed), and arm a
+//                     shared job deadline so in-flight runs preempt at the
+//                     next stage/solver boundary (verdict DEADLINE) instead
+//                     of overshooting the budget by a full pipeline run
 //   --verbose         per-system progress lines
 //
 // Exit code: 0 = campaign clean, 1 = soundness violation(s), 2 = usage.
@@ -41,6 +44,7 @@
 #include <vector>
 
 #include "barrier/independent_check.hpp"
+#include "core/job.hpp"
 #include "core/pipeline.hpp"
 #include "obs/json_writer.hpp"
 #include "obs/ledger.hpp"
@@ -233,6 +237,11 @@ int main(int argc, char** argv) {
             << family.max_spectral_radius << "]\n";
 
   Stopwatch campaign_clock;
+  // One shared deadline for the whole campaign: every in-flight job polls
+  // it at stage and solver-iteration boundaries, so --max-seconds bounds
+  // the campaign instead of merely gating new launches.
+  JobControl campaign_control;
+  if (max_seconds > 0.0) campaign_control.set_deadline_after(max_seconds);
   std::vector<FuzzOutcome> outcomes(count);
   std::mutex io_mutex;
   // One task per system (chunk 1), same sharding as synthesize_many; each
@@ -247,7 +256,12 @@ int main(int argc, char** argv) {
       if (max_seconds > 0.0 && campaign_clock.seconds() > max_seconds)
         continue;  // time budget: skip, never fail
       o.ran = true;
-      const SynthesisResult r = synthesize(gs.benchmark, base);
+      // Same job unit the serving daemon and synthesize_cli run.
+      const SynthesisJob job(gs.benchmark, base);
+      JobContext ctx;
+      ctx.control = (max_seconds > 0.0) ? &campaign_control : nullptr;
+      ctx.source = "fuzz_cli";
+      const SynthesisResult r = job.run(ctx);
       o.verdict = r.verdict;
       o.failure_stage = r.failure_stage;
       o.total_seconds = r.total_seconds;

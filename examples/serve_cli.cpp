@@ -1,0 +1,202 @@
+// Spool client for synthesize_server.
+//
+//   ./serve_cli --spool <dir> submit C1 [--seed <n>] [--fast]
+//               [--episodes <n>] [--priority <p>] [--deadline <s>]
+//               [--id <name>] [--wait [--timeout <s>]]
+//   ./serve_cli --spool <dir> status
+//   ./serve_cli --spool <dir> result <id> [--wait [--timeout <s>]]
+//   ./serve_cli --spool <dir> drain
+//
+// submit drops one request file into <spool>/inbox/ (atomic write, so the
+// server never reads a half-written request). The request id defaults to
+// "<benchmark>-s<seed>"; the result lands at <spool>/results/<id>.json.
+// status prints <spool>/status.json. drain touches <spool>/ctl/drain --
+// the server finishes queued jobs, sweeps results, and exits.
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "serve/request.hpp"
+#include "serve/spool.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace scs;
+
+void print_usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " --spool <dir> <command> [options]\n"
+      << "commands:\n"
+      << "  submit <benchmark> [--seed <n>] [--fast] [--episodes <n>]\n"
+      << "         [--priority <p>] [--deadline <s>] [--id <name>]\n"
+      << "         [--wait [--timeout <s>]]\n"
+      << "  status\n"
+      << "  result <id> [--wait [--timeout <s>]]\n"
+      << "  drain\n";
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+int print_result_file(const SpoolLayout& layout, const std::string& id,
+                      bool wait, double timeout_seconds) {
+  const std::string path = layout.results() + "/" + id + ".json";
+  Stopwatch clock;
+  for (;;) {
+    std::string text;
+    if (read_file(path, &text)) {
+      std::cout << text << "\n";
+      // Exit 0 on VERIFIED, 1 otherwise -- scriptable like synthesize_cli.
+      return text.find("\"verdict\":\"VERIFIED\"") != std::string::npos ? 0 : 1;
+    }
+    if (!wait) {
+      std::cerr << "no result yet at " << path << " (use --wait)\n";
+      return 3;
+    }
+    if (timeout_seconds > 0.0 && clock.seconds() > timeout_seconds) {
+      std::cerr << "timed out waiting for " << path << "\n";
+      return 3;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string spool_root, command;
+  std::vector<std::string> rest;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--spool") {
+      if (i + 1 >= argc) {
+        std::cerr << "--spool needs a directory\n";
+        return 2;
+      }
+      spool_root = argv[++i];
+    } else if (command.empty()) {
+      command = arg;
+    } else {
+      rest.push_back(arg);
+    }
+  }
+  if (spool_root.empty() || command.empty()) {
+    print_usage(argv[0]);
+    return 2;
+  }
+  const SpoolLayout layout{spool_root};
+
+  if (command == "status") {
+    std::string text;
+    if (!read_file(layout.status_file(), &text)) {
+      std::cerr << "no status file at " << layout.status_file()
+                << " (is the server running?)\n";
+      return 3;
+    }
+    std::cout << text << "\n";
+    return 0;
+  }
+
+  if (command == "drain") {
+    if (!atomic_write_file(layout.drain_file(), "drain\n")) {
+      std::cerr << "cannot write " << layout.drain_file() << "\n";
+      return 1;
+    }
+    std::cout << "drain requested via " << layout.drain_file() << "\n";
+    return 0;
+  }
+
+  bool wait = false;
+  double timeout_seconds = 0.0;
+
+  if (command == "result") {
+    std::string id;
+    for (std::size_t i = 0; i < rest.size(); ++i) {
+      if (rest[i] == "--wait")
+        wait = true;
+      else if (rest[i] == "--timeout" && i + 1 < rest.size())
+        timeout_seconds = std::atof(rest[++i].c_str());
+      else if (id.empty())
+        id = rest[i];
+    }
+    if (id.empty()) {
+      print_usage(argv[0]);
+      return 2;
+    }
+    return print_result_file(layout, id, wait, timeout_seconds);
+  }
+
+  if (command != "submit") {
+    print_usage(argv[0]);
+    return 2;
+  }
+
+  JobRequest request;
+  request.benchmark.clear();
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    const std::string& arg = rest[i];
+    const auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= rest.size()) {
+        std::cerr << arg << " needs " << what << "\n";
+        std::exit(2);
+      }
+      return rest[++i].c_str();
+    };
+    if (arg == "--seed")
+      request.seed = std::strtoull(next("a number"), nullptr, 10);
+    else if (arg == "--fast")
+      request.fast_mode = true;
+    else if (arg == "--episodes")
+      request.rl_episodes = std::atoi(next("a count"));
+    else if (arg == "--priority")
+      request.priority = std::atoi(next("a number"));
+    else if (arg == "--deadline")
+      request.deadline_seconds = std::atof(next("a duration"));
+    else if (arg == "--id")
+      request.id = next("a name");
+    else if (arg == "--wait")
+      wait = true;
+    else if (arg == "--timeout")
+      timeout_seconds = std::atof(next("a duration"));
+    else if (request.benchmark.empty())
+      request.benchmark = arg;
+    else {
+      print_usage(argv[0]);
+      return 2;
+    }
+  }
+  if (request.benchmark.empty()) {
+    print_usage(argv[0]);
+    return 2;
+  }
+  if (request.id.empty())
+    request.id = request.benchmark + "-s" + std::to_string(request.seed);
+
+  // Unique inbox filename; the atomic write keeps half-written requests
+  // invisible to the server.
+  const std::string file = layout.inbox() + "/" + request.id + "-" +
+                           std::to_string(::getpid()) + ".json";
+  if (!atomic_write_file(file, job_request_json(request) + "\n")) {
+    std::cerr << "cannot write " << file
+              << " (did synthesize_server create the spool?)\n";
+    return 1;
+  }
+  std::cout << "submitted " << request.id << " -> " << file << "\n";
+  if (!wait) return 0;
+  return print_result_file(layout, request.id, true, timeout_seconds);
+}

@@ -3,8 +3,12 @@
 //   ./store_cli [--dir <dir>] ls                 # one line per blob
 //   ./store_cli [--dir <dir>] info <hex-key>     # header of one blob
 //   ./store_cli [--dir <dir>] verify             # full checksum pass
-//   ./store_cli [--dir <dir>] gc [max-bytes]     # drop corrupt/oldest blobs
+//   ./store_cli [--dir <dir>] gc [max-bytes] [--force]
+//                                                # drop corrupt/oldest blobs
 //
+// gc defers (exit 3) while another live process -- e.g. a running
+// synthesize_server -- holds a reader lock on the store, because evicting
+// a blob mid-pipeline silently degrades that run. --force overrides.
 // The store directory defaults to $SCS_CACHE_DIR.
 #include <cstdlib>
 #include <iomanip>
@@ -92,18 +96,24 @@ int cmd_verify(ArtifactStore& store) {
   return corrupt == 0 ? 0 : 1;
 }
 
-int cmd_gc(ArtifactStore& store, std::uint64_t max_bytes) {
-  const auto removed = store.gc(max_bytes);
-  for (const auto& f : removed) std::cout << "removed " << f << "\n";
-  std::cout << removed.size() << " file(s) removed from " << store.root()
-            << "\n";
+int cmd_gc(ArtifactStore& store, std::uint64_t max_bytes, bool force) {
+  const ArtifactStore::GcReport report = store.gc(max_bytes, force);
+  if (report.skipped) {
+    std::cerr << "gc skipped: store in use by live process(es)";
+    for (int pid : report.busy_pids) std::cerr << " " << pid;
+    std::cerr << " (re-run with --force to override)\n";
+    return 3;
+  }
+  for (const auto& f : report.removed) std::cout << "removed " << f << "\n";
+  std::cout << report.removed.size() << " file(s) removed from "
+            << store.root() << "\n";
   return 0;
 }
 
 void print_usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--dir <store-dir>] <ls | info <hex-key> | verify | gc "
-            << "[max-bytes]>\n"
+            << "[max-bytes] [--force]>\n"
             << "store directory defaults to $SCS_CACHE_DIR\n";
 }
 
@@ -112,6 +122,7 @@ void print_usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::string dir;
   if (const char* env = std::getenv("SCS_CACHE_DIR")) dir = env;
+  bool force = false;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -121,6 +132,8 @@ int main(int argc, char** argv) {
         return 2;
       }
       dir = argv[++i];
+    } else if (arg == "--force") {
+      force = true;
     } else {
       positional.push_back(arg);
     }
@@ -149,7 +162,7 @@ int main(int argc, char** argv) {
     std::uint64_t max_bytes = 0;
     if (positional.size() > 1)
       max_bytes = std::strtoull(positional[1].c_str(), nullptr, 10);
-    return cmd_gc(store, max_bytes);
+    return cmd_gc(store, max_bytes, force);
   }
   std::cerr << "unknown command '" << cmd << "'\n";
   print_usage(argv[0]);

@@ -16,6 +16,9 @@
 //                       (see src/obs/ledger.hpp; SCS_LEDGER is the env
 //                       equivalent, report_cli the consumer)
 //   --fast              shrunken budgets (smoke tests / CI)
+//   --deadline <s>      wall-clock budget; the run stops at the next stage /
+//                       solver-iteration boundary and reports verdict
+//                       DEADLINE (exit code 1, no partial cache artifacts)
 //   --seed <n>          pipeline seed (default 2024); for gen:<i> targets it
 //                       is also the family seed
 //   --dims <d1,d2,...>  state dimensions of the generated family (gen:<i>
@@ -34,6 +37,7 @@
 #include "barrier/independent_check.hpp"
 #include "barrier/validation.hpp"
 #include "core/artifacts.hpp"
+#include "core/job.hpp"
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
 #include "systems/family_gen.hpp"
@@ -96,6 +100,7 @@ int main(int argc, char** argv) {
   StoreConfig store;
   ObsConfig obs;
   bool fast = false;
+  double deadline_seconds = 0.0;
   std::uint64_t seed = 2024;
   std::vector<std::size_t> dims = {2, 3};
   std::vector<std::string> positional;
@@ -142,6 +147,12 @@ int main(int argc, char** argv) {
       obs.ledger_path = argv[++i];
     } else if (arg == "--fast") {
       fast = true;
+    } else if (arg == "--deadline") {
+      if (i + 1 >= argc) {
+        std::cerr << "--deadline needs a seconds argument\n";
+        return 2;
+      }
+      deadline_seconds = std::atof(argv[++i]);
     } else {
       positional.push_back(arg);
     }
@@ -198,7 +209,15 @@ int main(int argc, char** argv) {
   if (positional.size() > 2)
     config.rl_episodes = std::atoi(positional[2].c_str());
   config.pac_fit.max_samples = 50000;
-  const SynthesisResult result = synthesize(bench, config);
+  // The CLI is a thin client of the same job unit the serving daemon runs:
+  // one SynthesisJob, one optional JobControl.
+  const SynthesisJob job(bench, config);
+  JobControl control;
+  if (deadline_seconds > 0.0) control.set_deadline_after(deadline_seconds);
+  JobContext ctx;
+  ctx.control = (deadline_seconds > 0.0) ? &control : nullptr;
+  ctx.source = "synthesize_cli";
+  const SynthesisResult result = job.run(ctx);
   std::cout << "timings: " << stage_timings_json(result) << "\n";
   if (!obs.trace_path.empty())
     std::cout << "trace written to " << obs.trace_path << "\n";
@@ -224,7 +243,10 @@ int main(int argc, char** argv) {
   }
   if (!result.success) {
     std::cerr << "synthesis failed at stage '" << result.failure_stage
-              << "': " << result.barrier.failure_reason << "\n";
+              << "' (verdict " << result.verdict << "): "
+              << (result.failure_message.empty() ? result.barrier.failure_reason
+                                                 : result.failure_message)
+              << "\n";
     return 1;
   }
   save_artifacts_file(artifacts_from(result, bench.ccds.num_states),

@@ -23,6 +23,11 @@
 #                            # zero tolerated soundness violations, gated by
 #                            # baselines/fuzz_campaign.json, plus a negative
 #                            # perturbed-certificate check
+#   scripts/ci.sh serve      # serving suite: serve-labeled tests under tsan
+#                            # (dedupe races + cancellation) and in Release,
+#                            # then a spool daemon smoke where the second
+#                            # submit of the same request must be answered
+#                            # warm from the dedupe map
 #   scripts/ci.sh simd       # SCS_SIMD=OFF build + full tests (the scalar
 #                            # fallback must stand alone), then the
 #                            # simd-labeled suite under ubsan so the
@@ -116,7 +121,7 @@ run_perf() {
   echo "==> Perf regression gate (run ledger + baselines + Table-2 dashboard)"
   cmake --preset default
   cmake --build --preset default -j "${JOBS}" \
-      --target synthesize_cli report_cli bench_obs bench_solvers
+      --target synthesize_cli report_cli bench_obs bench_solvers bench_serve
   local tmp rc
   tmp="$(mktemp -d)"
 
@@ -137,6 +142,11 @@ run_perf() {
   # matmul speedup >= 1.5, Gram block 15 -> 10 under pruning, and at least
   # one interior-point iteration saved by a warm start.
   (cd "${tmp}" && "${OLDPWD}/build/bench/bench_obs")
+  # bench_serve times a cold submit vs the in-memory warm-hit fast path and
+  # self-checks the exactly-one-cold dedupe guarantee; the baseline pins
+  # the warm-hit latency/speedup so a regression in the serving hot path
+  # (e.g. an accidental store round trip per hit) fails CI.
+  (cd "${tmp}" && TMPDIR="${tmp}" "${OLDPWD}/build/bench/bench_serve")
   ./build/bench/bench_solvers \
       --benchmark_filter='BM_Matmul/64/100$|BM_MinimaxFit_SamplesSweep/1000$|BM_KernelSpeedup_Matmul$|BM_SosGramPrune/(full|pruned)/4$|BM_SdpWarmStart/(cold|warm)$' \
       --benchmark_format=json \
@@ -147,8 +157,10 @@ run_perf() {
       --ledger "${tmp}/ledger.jsonl" \
       --bench bench_obs="${tmp}/BENCH_obs.json" \
       --bench bench_solvers="${tmp}/BENCH_solvers.json" \
+      --bench bench_serve="${tmp}/BENCH_serve.json" \
       --baseline baselines/bench_obs.json \
       --baseline baselines/bench_solvers.json \
+      --baseline baselines/serve.json \
       --baseline baselines/table2_fast.json \
       --markdown "${tmp}/report.md" --json "${tmp}/report.json"
   grep -q 'Table 2 reproduction dashboard' "${tmp}/report.md" || {
@@ -221,6 +233,53 @@ run_fuzz() {
   rm -rf "${tmp}"
 }
 
+run_serve() {
+  echo "==> Serving + cancellation suite under ThreadSanitizer"
+  # serve_test races duplicate submitters against the dedupe map and
+  # job_context_test cancels mid-solver; both must be clean under tsan.
+  cmake --preset tsan
+  cmake --build --preset tsan -j "${JOBS}" --target job_context_test serve_test
+  ctest --preset tsan-serve -j "${JOBS}" --output-on-failure
+
+  echo "==> Serve-labeled tests in the Release tree"
+  cmake --preset default
+  cmake --build --preset default -j "${JOBS}" \
+      --target job_context_test serve_test synthesize_server serve_cli
+  (cd build && ctest -L serve --output-on-failure)
+
+  echo "==> Daemon smoke: spool round trip, second submit answered warm"
+  local tmp rc pid
+  tmp="$(mktemp -d)"
+  ./build/examples/synthesize_server --spool "${tmp}/spool" --workers 2 \
+      --cache-dir "${tmp}/cache" --ledger "${tmp}/serve.jsonl" \
+      --poll-ms 50 &
+  pid=$!
+  # Exit 1 (= UNVERIFIED on the shrunken fast budget) is tolerated, as in
+  # the other smokes -- this gate checks the serving counters, never the
+  # fast-mode verdict. Exit 2+ still fails.
+  rc=0
+  ./build/examples/serve_cli --spool "${tmp}/spool" submit C1 --fast \
+      --episodes 2 --id cold --wait --timeout 300 > /dev/null || rc=$?
+  if [ "${rc}" -gt 1 ]; then
+    echo "cold submit exited with ${rc}" >&2; exit "${rc}"
+  fi
+  rc=0
+  ./build/examples/serve_cli --spool "${tmp}/spool" submit C1 --fast \
+      --episodes 2 --id warm --wait --timeout 60 > /dev/null || rc=$?
+  if [ "${rc}" -gt 1 ]; then
+    echo "warm submit exited with ${rc}" >&2; exit "${rc}"
+  fi
+  ./build/examples/serve_cli --spool "${tmp}/spool" drain > /dev/null
+  wait "${pid}"
+  grep -q '"warm_hit":true' "${tmp}/spool/results/warm.json" || {
+    echo "second submit was not served warm from the dedupe map" >&2; exit 1; }
+  grep -q '"warm_hits":1' "${tmp}/spool/status.json" || {
+    echo "status.json does not report exactly one warm hit" >&2; exit 1; }
+  grep -q '"source":"serve-hit"' "${tmp}/serve.jsonl" || {
+    echo "run ledger is missing the serve-hit record" >&2; exit 1; }
+  rm -rf "${tmp}"
+}
+
 run_simd() {
   echo "==> SCS_SIMD=OFF build + full test suite (scalar kernels only)"
   cmake --preset scalar
@@ -244,9 +303,10 @@ case "${1:-all}" in
   obs)     run_obs ;;
   perf)    run_perf ;;
   fuzz)    run_fuzz ;;
+  serve)   run_serve ;;
   simd)    run_simd ;;
-  all)     run_release; run_asan; run_ubsan; run_store; run_obs; run_perf; run_fuzz; run_simd ;;
-  *) echo "unknown configuration: $1 (want release|asan|ubsan|fault|store|obs|perf|fuzz|simd|all)" >&2
+  all)     run_release; run_asan; run_ubsan; run_store; run_obs; run_perf; run_fuzz; run_serve; run_simd ;;
+  *) echo "unknown configuration: $1 (want release|asan|ubsan|fault|store|obs|perf|fuzz|serve|simd|all)" >&2
      exit 2 ;;
 esac
 

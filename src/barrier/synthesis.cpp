@@ -321,6 +321,14 @@ BarrierResult synthesize_barrier_closed(
                              ? 1
                              : config.lambda_attempts;
     for (int attempt = 0; attempt < attempts; ++attempt) {
+      // Job-level preemption: the SDP under a stopped control returns
+      // immediately, so without this gate the ladder would still burn one
+      // program *construction* per remaining rung.
+      if (stop_requested(config.sdp.control)) {
+        result.seconds = sw.seconds();
+        result.failure_reason = "preempted (job cancelled or deadline)";
+        return result;
+      }
       Polynomial lambda =
           random_lambda(system.num_states, config.lambda_strategy, attempt,
                         rng);

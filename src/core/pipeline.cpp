@@ -1,7 +1,9 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
+#include <optional>
 
+#include "core/pipeline_detail.hpp"
 #include "core/report.hpp"
 #include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
@@ -47,7 +49,7 @@ std::string metrics_snapshot_or_empty() {
 /// SCS_LEDGER). Observation only, after every numeric field is final; an
 /// I/O failure is logged and never fails the run.
 void append_ledger(const SynthesisResult& result, std::uint64_t config_key,
-                   std::uint64_t seed, const char* source,
+                   std::uint64_t seed, const std::string& source,
                    const ObsConfig& obs) {
   const std::string path = resolve_ledger_path(obs.ledger_path);
   if (path.empty()) return;
@@ -72,12 +74,60 @@ void apply_fast_mode(PipelineConfig& cfg, int& episodes, PacSettings& pac) {
   pac.max_degree = std::min(pac.max_degree, 3);
 }
 
+/// Benchmark-driven config normalization shared by the run path and the
+/// config-key computation (the two must agree, or the ledger identity of a
+/// run would drift from the key its artifacts are cached under). Returns
+/// the episode budget.
+int normalize_config(const Benchmark& benchmark, PipelineConfig& cfg,
+                     PacSettings& pac_settings) {
+  int episodes =
+      (cfg.rl_episodes >= 0) ? cfg.rl_episodes : benchmark.rl.episodes;
+  cfg.env.dt = benchmark.rl.dt;
+  cfg.env.max_steps = benchmark.rl.steps_per_episode;
+  cfg.ddpg.actor_hidden = benchmark.hidden_layers;
+  if (cfg.fast_mode) apply_fast_mode(cfg, episodes, pac_settings);
+  return episodes;
+}
+
+/// Stage-boundary stop gate: when the job control has a stop pending, mark
+/// `result` as preempted at `stage` and return true. The CANCELLED /
+/// DEADLINE verdict itself is stamped once, at the end of the run.
+bool preempted(const JobControl* control, const char* stage,
+               SynthesisResult& result) {
+  if (!stop_requested(control)) return false;
+  result.success = false;
+  result.failure_stage = stage;
+  result.failure_message = std::string("job preempted at the ") + stage +
+                           " stage (cancelled or deadline expired)";
+  return true;
+}
+
+/// Final verdict: VERIFIED on success; the stop reason (CANCELLED /
+/// DEADLINE) when the job was asked to stop; UNVERIFIED otherwise. A
+/// stopped run is inconclusive by definition, so the stop reason wins over
+/// whatever partial failure the preemption left behind.
+void stamp_verdict(SynthesisResult& result, const JobControl* control) {
+  if (result.success) {
+    result.verdict = "VERIFIED";
+    return;
+  }
+  if (control != nullptr) {
+    const JobControl::StopReason reason = control->stop_reason();
+    if (reason != JobControl::StopReason::kNone) {
+      result.verdict = to_string(reason);
+      return;
+    }
+  }
+  result.verdict = "UNVERIFIED";
+}
+
 SynthesisResult run_stages_2_to_4_impl(const Benchmark& benchmark,
                                        const ControlLaw& law,
                                        PipelineConfig config,
                                        SynthesisResult result,
                                        StageCache* cache,
-                                       std::uint64_t upstream_key) {
+                                       std::uint64_t upstream_key,
+                                       const JobControl* control) {
   Rng rng(config.seed + 1000);
   const Ccds& sys = benchmark.ccds;
   PacSettings pac_settings = benchmark.pac;
@@ -85,7 +135,11 @@ SynthesisResult run_stages_2_to_4_impl(const Benchmark& benchmark,
     int dummy_episodes = 0;
     apply_fast_mode(config, dummy_episodes, pac_settings);
   }
+  // Thread job-level preemption into the solver layers. Never hashed:
+  // the stage keys computed below are identical with or without a control.
+  config.pac_fit.control = control;
   const bool cached = cache != nullptr && cache->enabled();
+  if (preempted(control, "pac", result)) return result;
 
   // ---- Stage 2: PAC polynomial approximation (Algorithm 1).
   // The approximation target is the *normalized* DNN output in [-1, 1]^m --
@@ -128,13 +182,15 @@ SynthesisResult run_stages_2_to_4_impl(const Benchmark& benchmark,
       log_info(
           "pipeline: PAC stage did not reach tau; continuing with best fit");
     }
-    if (cached)
+    // A preempted PAC result is partial; caching it would poison warm runs.
+    if (cached && !stop_requested(control))
       cache->store_pac(pac_key, benchmark.name,
                        {result.pac, result.controller, result.pac_degraded},
                        result.cache.pac);
   }
   result.pac_seconds = pac_sw.seconds();
   pac_span.close();
+  if (preempted(control, "pac", result)) return result;
   if (result.pac_degraded) {
     log_info("pipeline[", benchmark.name,
              "]: PAC guarantee withdrawn (least-squares fallback in use); "
@@ -152,6 +208,7 @@ SynthesisResult run_stages_2_to_4_impl(const Benchmark& benchmark,
   if (barrier_cfg.degree_schedule.empty())
     barrier_cfg.degree_schedule = benchmark.barrier_degrees;
   barrier_cfg.seed = config.seed + 2000;
+  barrier_cfg.sdp.control = control;  // preempts mid-interior-point
   std::uint64_t barrier_key = 0;
   bool barrier_warm = false;
   if (cached) {
@@ -203,7 +260,9 @@ SynthesisResult run_stages_2_to_4_impl(const Benchmark& benchmark,
         result.barrier = std::move(alt);
       }
     }
-    if (cached)
+    // A preempted barrier failure is not a real infeasibility; do not cache
+    // it (a re-run without the stop could still find a certificate).
+    if (cached && !stop_requested(control))
       cache->store_barrier(
           barrier_key, benchmark.name,
           {result.barrier, result.controller, result.pac.model},
@@ -211,6 +270,7 @@ SynthesisResult run_stages_2_to_4_impl(const Benchmark& benchmark,
   }
   result.barrier_seconds = barrier_sw.seconds();
   barrier_span.close();
+  if (preempted(control, "barrier", result)) return result;
   if (!result.barrier.success) {
     result.failure_stage = "barrier";
     result.failure_message =
@@ -239,12 +299,13 @@ SynthesisResult run_stages_2_to_4_impl(const Benchmark& benchmark,
     result.validation = validate_barrier(sys, result.controller,
                                          result.barrier.barrier,
                                          config.validation, vrng);
-    if (cached)
+    if (cached && !stop_requested(control))
       cache->store_validation(validation_key, benchmark.name,
                               {result.validation}, result.cache.validation);
   }
   result.validation_seconds = validation_sw.seconds();
   validation_span.close();
+  if (preempted(control, "validation", result)) return result;
   if (!result.validation.passed) {
     result.failure_stage = "validation";
     result.failure_message = "independent numeric validation rejected the "
@@ -264,12 +325,13 @@ SynthesisResult run_stages_2_to_4(const Benchmark& benchmark,
                                   PipelineConfig config,
                                   SynthesisResult result,
                                   StageCache* cache = nullptr,
-                                  std::uint64_t upstream_key = 0) {
+                                  std::uint64_t upstream_key = 0,
+                                  const JobControl* control = nullptr) {
   try {
     // Pass a copy so a throwing stage leaves the caller-visible fields
     // (benchmark name, RL telemetry) intact for the failure report.
     result = run_stages_2_to_4_impl(benchmark, law, std::move(config), result,
-                                    cache, upstream_key);
+                                    cache, upstream_key, control);
   } catch (const std::exception& e) {
     log_info("pipeline[", benchmark.name, "]: stage threw (", e.what(),
              "); reporting UNVERIFIED");
@@ -277,14 +339,34 @@ SynthesisResult run_stages_2_to_4(const Benchmark& benchmark,
     if (result.failure_stage.empty()) result.failure_stage = "exception";
     result.failure_message = e.what();
   }
-  result.verdict = result.success ? "VERIFIED" : "UNVERIFIED";
+  stamp_verdict(result, control);
   return result;
 }
 
 }  // namespace
 
-SynthesisResult synthesize(const Benchmark& benchmark,
-                           const PipelineConfig& config) {
+namespace detail {
+
+std::uint64_t job_config_key(const Benchmark& benchmark,
+                             const PipelineConfig& config, bool from_law) {
+  if (from_law) {
+    // No RL stage; the identity key folds the benchmark content + seed.
+    Fnv1a identity;
+    hash_append(identity, benchmark);
+    hash_append(identity, config.seed);
+    return identity.digest();
+  }
+  PipelineConfig cfg = config;
+  PacSettings pac_settings = benchmark.pac;
+  const int episodes = normalize_config(benchmark, cfg, pac_settings);
+  return rl_stage_key(benchmark, cfg.seed, cfg.ddpg, cfg.env, episodes,
+                      cfg.eval_episodes);
+}
+
+SynthesisResult run_synthesis_job(const Benchmark& benchmark,
+                                  const ControlLaw* external_law,
+                                  const PipelineConfig& config,
+                                  const JobContext& ctx) {
   ObsRunScope obs_scope(config.obs);
   LogTagScope tag_scope(benchmark.name);
   TraceSpan run_span("synthesize:" + benchmark.name);
@@ -292,22 +374,38 @@ SynthesisResult synthesize(const Benchmark& benchmark,
   SynthesisResult result;
   result.benchmark = benchmark.name;
   result.threads_used = static_cast<int>(parallel_threads());
-  const Ccds& sys = benchmark.ccds;
 
+  // ---- Stages 2-4 only: an external control law stands in for the DNN.
+  if (external_law != nullptr) {
+    result.dnn_structure = "(external law)";
+    const std::uint64_t identity =
+        job_config_key(benchmark, config, /*from_law=*/true);
+    result = run_stages_2_to_4(benchmark, *external_law, config,
+                               std::move(result), ctx.cache, identity,
+                               ctx.control);
+    result.total_seconds = total_sw.seconds();
+    result.metrics_json = metrics_snapshot_or_empty();
+    append_ledger(result, identity, config.seed, ctx.source, config.obs);
+    return result;
+  }
+
+  const Ccds& sys = benchmark.ccds;
   PipelineConfig cfg = config;
   PacSettings pac_settings = benchmark.pac;
-  int episodes =
-      (cfg.rl_episodes >= 0) ? cfg.rl_episodes : benchmark.rl.episodes;
-  cfg.env.dt = benchmark.rl.dt;
-  cfg.env.max_steps = benchmark.rl.steps_per_episode;
-  cfg.ddpg.actor_hidden = benchmark.hidden_layers;
-  if (cfg.fast_mode) apply_fast_mode(cfg, episodes, pac_settings);
+  const int episodes = normalize_config(benchmark, cfg, pac_settings);
 
   // ---- Stage 1: DDPG training of the auxiliary DNN controller, unless the
   // artifact store already holds the trained actor for this exact
-  // (benchmark content, config slice, seed, format version) key.
-  StageCache cache(cfg.store);
-  result.cache.enabled = cache.enabled();
+  // (benchmark content, config slice, seed, format version) key. The cache
+  // handle is either shared (server: one handle across all jobs) or owned
+  // by this run.
+  std::optional<StageCache> own_cache;
+  StageCache* cache = ctx.cache;
+  if (cache == nullptr) {
+    own_cache.emplace(cfg.store);
+    cache = &*own_cache;
+  }
+  result.cache.enabled = cache->enabled();
   // Computed whether or not the cache is on: the RL stage key doubles as
   // the run's configuration identity (config_key) in the ledger.
   const std::uint64_t rl_key = rl_stage_key(
@@ -317,76 +415,75 @@ SynthesisResult synthesize(const Benchmark& benchmark,
   Stopwatch rl_sw;
   Rng rng(cfg.seed);
   try {
-    ControlLaw law;
-    bool rl_warm = false;
-    if (cache.enabled()) {
-      if (auto hit = cache.load_rl(rl_key, result.cache.rl)) {
-        result.dnn_structure = hit->dnn_structure;
-        result.rl_eval = hit->eval;
-        law = control_law_from_actor(hit->actor, sys.control_bound);
-        rl_warm = true;
-        result.rl_seconds = rl_sw.seconds();
-        log_info("pipeline[", benchmark.name,
-                 "]: RL stage from cache (actor ", result.dnn_structure,
-                 ", ", result.rl_seconds, "s)");
+    if (preempted(ctx.control, "rl", result)) {
+      stamp_verdict(result, ctx.control);
+    } else {
+      ControlLaw law;
+      bool rl_warm = false;
+      if (cache->enabled()) {
+        if (auto hit = cache->load_rl(rl_key, result.cache.rl)) {
+          result.dnn_structure = hit->dnn_structure;
+          result.rl_eval = hit->eval;
+          law = control_law_from_actor(hit->actor, sys.control_bound);
+          rl_warm = true;
+          result.rl_seconds = rl_sw.seconds();
+          log_info("pipeline[", benchmark.name,
+                   "]: RL stage from cache (actor ", result.dnn_structure,
+                   ", ", result.rl_seconds, "s)");
+        }
       }
-    }
-    if (!rl_warm) {
-      ControlEnv env(sys, cfg.env);
-      DdpgAgent agent(sys.num_states, sys.num_controls, cfg.ddpg, rng);
-      result.dnn_structure = agent.actor().structure_string();
-      agent.train(env, episodes, rng);
-      result.rl_eval = agent.evaluate(env, cfg.eval_episodes, rng);
-      result.rl_seconds = rl_sw.seconds();
-      log_info("pipeline[", benchmark.name, "]: RL done in ",
-               result.rl_seconds, "s, eval safety rate ",
-               result.rl_eval.safety_rate);
-      law = agent.control_law(sys.control_bound);
-      if (cache.enabled())
-        cache.store_rl(
-            rl_key, benchmark.name,
-            {agent.actor(), result.dnn_structure, result.rl_eval},
-            result.cache.rl);
-    }
-    rl_span.close();
+      if (!rl_warm) {
+        ControlEnv env(sys, cfg.env);
+        DdpgAgent agent(sys.num_states, sys.num_controls, cfg.ddpg, rng);
+        result.dnn_structure = agent.actor().structure_string();
+        agent.train(env, episodes, rng);
+        result.rl_eval = agent.evaluate(env, cfg.eval_episodes, rng);
+        result.rl_seconds = rl_sw.seconds();
+        log_info("pipeline[", benchmark.name, "]: RL done in ",
+                 result.rl_seconds, "s, eval safety rate ",
+                 result.rl_eval.safety_rate);
+        law = agent.control_law(sys.control_bound);
+        // A cancel that lands mid-training takes effect here: the partially
+        // trained actor is never persisted.
+        if (cache->enabled() && !stop_requested(ctx.control))
+          cache->store_rl(
+              rl_key, benchmark.name,
+              {agent.actor(), result.dnn_structure, result.rl_eval},
+              result.cache.rl);
+      }
+      rl_span.close();
 
-    result = run_stages_2_to_4(benchmark, law, cfg, std::move(result),
-                               cache.enabled() ? &cache : nullptr, rl_key);
+      result = run_stages_2_to_4(benchmark, law, cfg, std::move(result),
+                                 cache->enabled() ? cache : nullptr, rl_key,
+                                 ctx.control);
+    }
   } catch (const std::exception& e) {
     log_info("pipeline[", benchmark.name, "]: RL stage threw (", e.what(),
              "); reporting UNVERIFIED");
     result.success = false;
     result.failure_stage = "rl";
     result.failure_message = e.what();
-    result.verdict = "UNVERIFIED";
+    stamp_verdict(result, ctx.control);
   }
   result.total_seconds = total_sw.seconds();
   result.metrics_json = metrics_snapshot_or_empty();
-  append_ledger(result, rl_key, cfg.seed, "synthesize", cfg.obs);
+  append_ledger(result, rl_key, cfg.seed, ctx.source, cfg.obs);
   return result;
+}
+
+}  // namespace detail
+
+SynthesisResult synthesize(const Benchmark& benchmark,
+                           const PipelineConfig& config) {
+  return detail::run_synthesis_job(benchmark, nullptr, config, JobContext{});
 }
 
 SynthesisResult synthesize_from_law(const Benchmark& benchmark,
                                     const ControlLaw& law,
                                     const PipelineConfig& config) {
-  ObsRunScope obs_scope(config.obs);
-  LogTagScope tag_scope(benchmark.name);
-  TraceSpan run_span("synthesize:" + benchmark.name);
-  Stopwatch total_sw;
-  SynthesisResult result;
-  result.benchmark = benchmark.name;
-  result.dnn_structure = "(external law)";
-  result.threads_used = static_cast<int>(parallel_threads());
-  result = run_stages_2_to_4(benchmark, law, config, std::move(result));
-  result.total_seconds = total_sw.seconds();
-  result.metrics_json = metrics_snapshot_or_empty();
-  // No RL stage here; the identity key folds the benchmark content + seed.
-  Fnv1a identity;
-  hash_append(identity, benchmark);
-  hash_append(identity, config.seed);
-  append_ledger(result, identity.digest(), config.seed, "synthesize_from_law",
-                config.obs);
-  return result;
+  JobContext ctx;
+  ctx.source = "synthesize_from_law";
+  return detail::run_synthesis_job(benchmark, &law, config, ctx);
 }
 
 std::vector<SynthesisResult> synthesize_many(

@@ -59,7 +59,8 @@ struct SupportSolution {
 };
 
 SupportSolution solve_support_lp(const Mat& design, const Vec& targets,
-                                 const std::vector<std::size_t>& support) {
+                                 const std::vector<std::size_t>& support,
+                                 const JobControl* control) {
   const std::size_t v = design.cols();
   const std::size_t s = support.size();
   // Variables: c+ (v), c- (v), e (1), slacks (2s). Rows: 2s.
@@ -87,7 +88,9 @@ SupportSolution solve_support_lp(const Mat& design, const Vec& targets,
     lp.b[2 * k] = u;
     lp.b[2 * k + 1] = -u;
   }
-  const LpSolution sol = solve_lp(lp);
+  LpOptions lp_options;
+  lp_options.control = control;
+  const LpSolution sol = solve_lp(lp, lp_options);
   SupportSolution out;
   if (sol.status != LpStatus::kOptimal) return out;
   out.c = Vec(v);
@@ -107,6 +110,16 @@ MinimaxFitResult minimax_fit(const Mat& design, const Vec& targets,
   SCS_REQUIRE(targets.size() == k_samples, "minimax_fit: target size mismatch");
 
   MinimaxFitResult result;
+
+  // A fit that starts preempted ends preempted: bail before the first
+  // normal-equation solve (mid-loop stops are handled below).
+  if (stop_requested(options.control)) {
+    result.ok = false;
+    result.note = "preempted before fitting";
+    result.coefficients = Vec(v, 0.0);
+    result.error = std::numeric_limits<double>::infinity();
+    return result;
+  }
 
   // Non-finite targets (upstream evaluation blow-ups, injected NaNs) poison
   // every normal-equation solve; surface a structured failure instead.
@@ -134,6 +147,10 @@ MinimaxFitResult minimax_fit(const Mat& design, const Vec& targets,
   Vec c = std::move(ls.x);
   double prev_e = std::numeric_limits<double>::infinity();
   for (int it = 0; it < options.lawson_iterations; ++it) {
+    if (stop_requested(options.control)) {
+      result.note = "preempted during Lawson refinement; kept last iterate";
+      break;
+    }
     const Vec r = residuals(design, targets, c);
     const double e = r.max_abs();
     result.lawson_iterations = it + 1;
@@ -177,9 +194,14 @@ MinimaxFitResult minimax_fit(const Mat& design, const Vec& targets,
 
   double e_support = 0.0;
   for (int round = 0; round < options.exchange_rounds; ++round) {
+    if (stop_requested(options.control)) {
+      result.note = "preempted during exchange refinement; kept best iterate";
+      break;
+    }
     result.exchange_rounds = round + 1;
     const std::vector<std::size_t> sup(support.begin(), support.end());
-    const SupportSolution ss = solve_support_lp(design, targets, sup);
+    const SupportSolution ss =
+        solve_support_lp(design, targets, sup, options.control);
     if (!ss.ok) break;  // fall back to the best iterate found so far
     const Vec r2 = residuals(design, targets, ss.c);
     const double e2 = r2.max_abs();

@@ -15,6 +15,7 @@
 
 #include "math/mat.hpp"
 #include "math/vec.hpp"
+#include "util/cancellation.hpp"
 
 namespace scs {
 
@@ -24,6 +25,10 @@ struct MinimaxOptions {
   int exchange_add_per_round = 8;
   double exchange_tol = 1e-7;  // |e_full - e_support| acceptance threshold
   double ridge = 1e-10;        // Tikhonov jitter for the weighted LS solves
+  /// Job-level preemption (borrowed, may be null): checked between Lawson
+  /// iterations / exchange rounds and forwarded into the support LPs. A
+  /// preempted fit returns ok = false. Runtime plumbing only -- never hashed.
+  const JobControl* control = nullptr;
 };
 
 struct MinimaxFitResult {

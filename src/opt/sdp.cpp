@@ -32,6 +32,8 @@ const char* to_string(SdpStatus status) {
       return "stalled";
     case SdpStatus::kTimeLimit:
       return "time-limit";
+    case SdpStatus::kCancelled:
+      return "cancelled";
   }
   return "?";
 }
@@ -370,6 +372,14 @@ SdpSolution solve_sdp_once(const SdpProblem& problem, const SdpOptions& options,
       break;
     }
 
+    // Job-level preemption: a cancellation or job deadline stops the solve
+    // here, mid-interior-point, instead of between pipeline stages.
+    if (options.control != nullptr && options.control->stop_requested()) {
+      sol.status = options.control->cancelled() ? SdpStatus::kCancelled
+                                                : SdpStatus::kTimeLimit;
+      break;
+    }
+
     // Stall detection on the merit max(p_inf, d_inf, gap).
     const double merit = std::max({p_infeas, d_infeas, gap});
     if (merit < best_merit * (1.0 - options.stall_improvement)) {
@@ -676,7 +686,8 @@ SdpSolution solve_sdp(const SdpProblem& problem, const SdpOptions& options,
   SdpSolution best = solve_sdp_once(problem, options, budget_sw, warm_start);
   if (best.status == SdpStatus::kConverged ||
       best.status == SdpStatus::kInfeasible ||
-      best.status == SdpStatus::kTimeLimit)
+      best.status == SdpStatus::kTimeLimit ||
+      best.status == SdpStatus::kCancelled)
     return best;
 
   // Bounded retry-and-rescale: restart from scaled initial iterates, probing
@@ -693,6 +704,8 @@ SdpSolution solve_sdp(const SdpProblem& problem, const SdpOptions& options,
   for (int retry = 1; retry <= options.max_retries; ++retry) {
     if (options.wall_clock_budget > 0.0 &&
         budget_sw.seconds() > options.wall_clock_budget)
+      break;
+    if (options.control != nullptr && options.control->stop_requested())
       break;
     SdpOptions retry_options = options;
     const double factor =

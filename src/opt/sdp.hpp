@@ -20,6 +20,7 @@
 
 #include "math/mat.hpp"
 #include "math/vec.hpp"
+#include "util/cancellation.hpp"
 
 namespace scs {
 
@@ -57,7 +58,8 @@ enum class SdpStatus {
   kInfeasible,         // structurally infeasible (inconsistent empty row)
   kStalled,            // no merit progress over a full stall window, or the
                        // step lengths collapsed (structured, not garbage)
-  kTimeLimit,          // wall_clock_budget exhausted mid-solve
+  kTimeLimit,          // wall_clock_budget / job deadline exhausted mid-solve
+  kCancelled,          // SdpOptions::control requested cancellation
 };
 
 const char* to_string(SdpStatus status);
@@ -117,6 +119,12 @@ struct SdpOptions {
   /// Wall-clock budget in seconds for the whole solve including retries;
   /// 0 = unlimited. Exceeding it reports kTimeLimit.
   double wall_clock_budget = 0.0;
+  /// Job-level preemption (borrowed, may be null): checked every iteration,
+  /// so a cancellation or job deadline stops the solve mid-interior-point
+  /// instead of waiting for the constructed budget above. Runtime plumbing
+  /// only -- deliberately excluded from hash_append (two runs differing
+  /// only in their control share cache keys and, absent a stop, results).
+  const JobControl* control = nullptr;
 };
 
 /// Solve. `warm_start` (optional, borrowed for the duration of the call)

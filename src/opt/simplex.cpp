@@ -22,6 +22,8 @@ const char* to_string(LpStatus status) {
       return "iteration-limit";
     case LpStatus::kTimeLimit:
       return "time-limit";
+    case LpStatus::kCancelled:
+      return "cancelled";
   }
   return "?";
 }
@@ -34,7 +36,8 @@ class SimplexCore {
  public:
   SimplexCore(const Mat& a, const Vec& b, const Vec& c, double tol,
               const Stopwatch* budget_sw = nullptr,
-              double budget_seconds = 0.0, bool force_bland = false)
+              double budget_seconds = 0.0, bool force_bland = false,
+              const JobControl* control = nullptr)
       : a_(a),
         b_(b),
         c_(c),
@@ -43,7 +46,8 @@ class SimplexCore {
         tol_(tol),
         budget_sw_(budget_sw),
         budget_seconds_(budget_seconds),
-        force_bland_(force_bland) {}
+        force_bland_(force_bland),
+        control_(control) {}
 
   /// Run from the given starting basis. Returns the termination status.
   LpStatus run(std::vector<std::size_t>& basis, Mat& binv, int max_iters,
@@ -51,10 +55,16 @@ class SimplexCore {
     int degenerate_streak = 0;
     for (int it = 0; it < max_iters; ++it) {
       if (iterations_used != nullptr) *iterations_used = it;
-      // Wall-clock budget, checked coarsely to keep the loop lean.
-      if (budget_seconds_ > 0.0 && (it & 63) == 0 && budget_sw_ != nullptr &&
-          budget_sw_->seconds() > budget_seconds_)
-        return LpStatus::kTimeLimit;
+      // Wall-clock budget and job-level preemption, checked coarsely to keep
+      // the loop lean.
+      if ((it & 63) == 0) {
+        if (budget_seconds_ > 0.0 && budget_sw_ != nullptr &&
+            budget_sw_->seconds() > budget_seconds_)
+          return LpStatus::kTimeLimit;
+        if (control_ != nullptr && control_->stop_requested())
+          return control_->cancelled() ? LpStatus::kCancelled
+                                       : LpStatus::kTimeLimit;
+      }
       // Duals y = c_B' B^{-1}; reduced costs r_j = c_j - y' A_j.
       Vec cb(m_);
       for (std::size_t i = 0; i < m_; ++i) cb[i] = c_[basis[i]];
@@ -139,6 +149,7 @@ class SimplexCore {
   const Stopwatch* budget_sw_ = nullptr;
   double budget_seconds_ = 0.0;
   bool force_bland_ = false;
+  const JobControl* control_ = nullptr;
 };
 
 /// Run one phase; when Dantzig pricing exhausts the iteration budget and the
@@ -152,7 +163,7 @@ LpStatus run_phase(const Mat& a, const Vec& b, const Vec& c,
   const Mat binv0 = binv;
   int iters = 0;
   SimplexCore core(a, b, c, options.tol, &budget_sw,
-                   options.wall_clock_seconds, false);
+                   options.wall_clock_seconds, false, options.control);
   LpStatus st = core.run(basis, binv, options.max_iterations, &iters);
   *total_iterations += iters;
   if (st == LpStatus::kIterationLimit && options.bland_restart) {
@@ -164,7 +175,7 @@ LpStatus run_phase(const Mat& a, const Vec& b, const Vec& c,
     basis = basis0;
     binv = binv0;
     SimplexCore bland(a, b, c, options.tol, &budget_sw,
-                      options.wall_clock_seconds, true);
+                      options.wall_clock_seconds, true, options.control);
     st = bland.run(basis, binv, options.max_iterations, &iters);
     *total_iterations += iters;
   }
@@ -207,7 +218,8 @@ LpSolution solve_lp(const LpProblem& problem, const LpOptions& options) {
   {
     const LpStatus st =
         run_phase(a1, b, c1, options, budget_sw, basis, binv, &sol.iterations);
-    if (st == LpStatus::kIterationLimit || st == LpStatus::kTimeLimit) {
+    if (st == LpStatus::kIterationLimit || st == LpStatus::kTimeLimit ||
+        st == LpStatus::kCancelled) {
       sol.status = st;
       return sol;
     }

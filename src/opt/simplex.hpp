@@ -11,6 +11,7 @@
 
 #include "math/mat.hpp"
 #include "math/vec.hpp"
+#include "util/cancellation.hpp"
 
 namespace scs {
 
@@ -19,7 +20,8 @@ enum class LpStatus {
   kInfeasible,
   kUnbounded,
   kIterationLimit,
-  kTimeLimit,  // wall_clock_seconds budget exhausted
+  kTimeLimit,   // wall_clock_seconds budget or job deadline exhausted
+  kCancelled,   // LpOptions::control requested cancellation
 };
 
 const char* to_string(LpStatus status);
@@ -49,6 +51,10 @@ struct LpOptions {
   /// cycling), restart the failed phase once under pure Bland's rule, which
   /// terminates by construction.
   bool bland_restart = true;
+  /// Job-level preemption (borrowed, may be null): polled on the same coarse
+  /// cadence as the wall-clock budget so a cancellation or job deadline
+  /// stops the solve mid-phase. Runtime plumbing only -- never hashed.
+  const JobControl* control = nullptr;
 };
 
 /// Solve a standard-form LP. Rows of A should be linearly independent;

@@ -125,6 +125,13 @@ PacResult pac_approximate(const ScalarFn& fn, const SemialgebraicSet& domain,
     degree_best.error = std::numeric_limits<double>::infinity();
 
     for (double eps : settings.eps_list) {
+      // Job-level preemption: stop the (d, eps) ladder before drawing the
+      // next (potentially huge) scenario batch. The caller inspects its
+      // JobControl for the stop reason; this result is simply !success.
+      if (stop_requested(options.control)) {
+        result.total_seconds = total.seconds();
+        return result;
+      }
       TraceSpan attempt_span("pac.attempt:d" + std::to_string(d));
       Stopwatch sw;
       PacTraceRow row;
@@ -225,7 +232,15 @@ PacResult pac_approximate(const ScalarFn& fn, const SemialgebraicSet& domain,
         }
         row.eps = scenario_eps_for_samples(survived, settings.eta, kappa);
       }
-      MinimaxFitResult fit = minimax_fit(design, targets);
+      MinimaxOptions minimax_options;
+      minimax_options.control = options.control;
+      MinimaxFitResult fit = minimax_fit(design, targets, minimax_options);
+      if (!fit.ok && stop_requested(options.control)) {
+        // Preempted mid-fit: do not degrade to least squares (that would
+        // burn more time); abandon the ladder and report no success.
+        result.total_seconds = total.seconds();
+        return result;
+      }
       if (!fit.ok) {
         // Degradation ladder: the scenario program (8) could not be solved;
         // fall back to a plain least-squares fit so the pipeline can still
@@ -311,6 +326,10 @@ PacVectorResult pac_approximate_vector(
   PacVectorResult out;
   out.success = true;
   for (std::size_t k = 0; k < output_dim; ++k) {
+    if (stop_requested(options.control)) {
+      out.success = false;
+      break;
+    }
     const ScalarFn channel = [&fn, k](const Vec& x) { return fn(x)[k]; };
     PacResult r = pac_approximate(channel, domain, settings, rng, options);
     out.success = out.success && r.success;

@@ -14,6 +14,7 @@
 #include "poly/polynomial.hpp"
 #include "systems/benchmarks.hpp"
 #include "systems/semialgebraic.hpp"
+#include "util/cancellation.hpp"
 #include "util/rng.hpp"
 
 namespace scs {
@@ -82,6 +83,12 @@ struct PacFitOptions {
   /// high-degree template at eps = 1e-4 can otherwise demand hundreds of
   /// gigabytes). eps is recomputed as above.
   std::uint64_t max_design_bytes = std::uint64_t{2} << 30;  // 2 GiB
+  /// Job-level preemption (borrowed, may be null): checked between (d, eps)
+  /// attempts and threaded into the minimax LP solves so a cancellation or
+  /// job deadline stops the degree ladder early. Runtime plumbing only --
+  /// deliberately excluded from hash_append, so preempted and unpreempted
+  /// runs share cache keys.
+  const JobControl* control = nullptr;
 };
 
 void hash_append(Fnv1a& h, const PacFitOptions& o);

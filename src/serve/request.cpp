@@ -1,0 +1,78 @@
+#include "serve/request.hpp"
+
+#include "obs/json_reader.hpp"
+#include "obs/json_writer.hpp"
+#include "util/check.hpp"
+
+namespace scs {
+
+std::string job_request_json(const JobRequest& request) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("id").value(request.id);
+  w.key("benchmark").value(request.benchmark);
+  w.key("seed").value(static_cast<std::uint64_t>(request.seed));
+  w.key("fast_mode").value(request.fast_mode);
+  w.key("rl_episodes").value(request.rl_episodes);
+  w.key("priority").value(request.priority);
+  w.key("deadline_seconds").value(request.deadline_seconds);
+  w.end_object();
+  return w.str();
+}
+
+bool parse_job_request(const std::string& text, JobRequest* out,
+                       std::string* error) {
+  JsonValue doc;
+  if (!json_try_parse(text, &doc, error)) return false;
+  if (!doc.is_object()) {
+    if (error != nullptr) *error = "request must be a JSON object";
+    return false;
+  }
+  JobRequest req;
+  if (const JsonValue* v = doc.find("id")) req.id = v->string_or("");
+  const JsonValue* bench = doc.find("benchmark");
+  if (bench == nullptr || !bench->is_string() || bench->string.empty()) {
+    if (error != nullptr) *error = "missing required string field 'benchmark'";
+    return false;
+  }
+  req.benchmark = bench->string;
+  if (const JsonValue* v = doc.find("seed"))
+    req.seed = static_cast<std::uint64_t>(v->int_or(1));
+  if (const JsonValue* v = doc.find("fast_mode"))
+    req.fast_mode = v->bool_or(false);
+  if (const JsonValue* v = doc.find("rl_episodes"))
+    req.rl_episodes = static_cast<int>(v->int_or(-1));
+  if (const JsonValue* v = doc.find("priority"))
+    req.priority = static_cast<int>(v->int_or(0));
+  if (const JsonValue* v = doc.find("deadline_seconds"))
+    req.deadline_seconds = v->number_or(0.0);
+  *out = std::move(req);
+  return true;
+}
+
+std::optional<BenchmarkId> benchmark_id_from_name(const std::string& name) {
+  for (BenchmarkId id : all_benchmark_ids())
+    if (benchmark_name(id) == name) return id;
+  return std::nullopt;
+}
+
+SynthesisJob make_job(const JobRequest& request, const StoreConfig& store,
+                      const std::string& ledger_path) {
+  const std::optional<BenchmarkId> id = benchmark_id_from_name(request.benchmark);
+  SCS_REQUIRE(id.has_value(), "make_job: unknown benchmark");
+  PipelineConfig config;
+  config.seed = request.seed;
+  config.fast_mode = request.fast_mode;
+  config.rl_episodes = request.rl_episodes;
+  config.store = store;
+  config.obs.ledger_path = ledger_path;
+  return SynthesisJob(make_benchmark(*id), std::move(config));
+}
+
+std::uint64_t serve_key(const JobRequest& request) {
+  // The key folds benchmark content + seed + config slice; the server's
+  // store / ledger settings are not hashed, so a fixed default works here.
+  return make_job(request, StoreConfig{}, "").config_key();
+}
+
+}  // namespace scs

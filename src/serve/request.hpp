@@ -1,0 +1,61 @@
+// Serving request layer: the JSONL job description clients submit to
+// synthesize_server, its (de)serialization, and its mapping onto a
+// SynthesisJob + dedupe key.
+//
+// A request is the *problem statement* only -- benchmark, seed, budgets.
+// Scheduling fields (priority, deadline) ride along but never enter the
+// dedupe key: two requests that describe the same synthesis coalesce even
+// when one is more urgent than the other, because their results are
+// bitwise-identical by construction.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/job.hpp"
+
+namespace scs {
+
+struct JobRequest {
+  /// Client-chosen handle used to name the result file; defaults to the
+  /// dedupe key's hex when empty.
+  std::string id;
+  /// Benchmark name, "C1".."C10".
+  std::string benchmark = "C1";
+  std::uint64_t seed = 1;
+  bool fast_mode = false;
+  /// Episode override; -1 = the benchmark's default budget.
+  int rl_episodes = -1;
+  /// Scheduling only (not part of the dedupe key): higher runs first.
+  int priority = 0;
+  /// Scheduling only: wall-clock budget armed when the job *starts*
+  /// (queue wait does not consume it); 0 = none.
+  double deadline_seconds = 0.0;
+};
+
+/// One-line JSON encoding of a request (parses back via
+/// parse_job_request; also valid as one JSONL spool line).
+std::string job_request_json(const JobRequest& request);
+
+/// Strict parse. Unknown benchmarks are accepted here (submission rejects
+/// them with a proper error); unknown keys are ignored so the request
+/// schema can grow.
+bool parse_job_request(const std::string& text, JobRequest* out,
+                       std::string* error = nullptr);
+
+/// "C1".."C10" lookup; nullopt for anything else.
+std::optional<BenchmarkId> benchmark_id_from_name(const std::string& name);
+
+/// The SynthesisJob a request describes. `store` / `ledger_path` are the
+/// server's (they do not affect the dedupe key). Requires a valid
+/// benchmark name -- check benchmark_id_from_name first.
+SynthesisJob make_job(const JobRequest& request, const StoreConfig& store,
+                      const std::string& ledger_path);
+
+/// Dedupe / cache identity of a request: the job's config_key, i.e. the
+/// RL stage key of the store's cache chain. Equal keys => bitwise-equal
+/// results.
+std::uint64_t serve_key(const JobRequest& request);
+
+}  // namespace scs

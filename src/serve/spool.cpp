@@ -1,0 +1,219 @@
+#include "serve/spool.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+#include <vector>
+
+#include "obs/json_writer.hpp"
+#include "util/hash.hpp"
+#include "util/log.hpp"
+
+namespace scs {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return in.good() || in.eof();
+}
+
+std::string stem_of(const fs::path& p) { return p.stem().string(); }
+
+}  // namespace
+
+bool spool_init(const SpoolLayout& layout, std::string* error) {
+  std::error_code ec;
+  for (const std::string& dir :
+       {layout.inbox(), layout.results(), layout.ctl()}) {
+    fs::create_directories(dir, ec);
+    if (ec) {
+      if (error != nullptr)
+        *error = "cannot create " + dir + ": " + ec.message();
+      return false;
+    }
+  }
+  return true;
+}
+
+bool atomic_write_file(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out << content;
+    if (!out.good()) return false;
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+std::string job_result_json(const std::string& id, std::uint64_t key,
+                            const SynthesisResult& result, bool warm_hit,
+                            double queue_seconds, double run_seconds) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("id").value(id);
+  w.key("key").value(hash_to_hex(key));
+  w.key("benchmark").value(result.benchmark);
+  w.key("verdict").value(result.verdict);
+  w.key("success").value(result.success);
+  w.key("warm_hit").value(warm_hit);
+  w.key("failure_stage").value(result.failure_stage);
+  w.key("failure_message").value(result.failure_message);
+  w.key("queue_seconds").value(queue_seconds);
+  w.key("run_seconds").value(run_seconds);
+  w.key("total_seconds").value(result.total_seconds);
+  w.key("barrier_degree").value(result.barrier.degree);
+  if (result.success) {
+    // Precision 17 round-trips the certified doubles exactly: the result
+    // file is sufficient input for independent re-validation.
+    w.key("certificate").value(result.barrier.barrier.to_string(17));
+    w.key("controller").begin_array();
+    for (const Polynomial& p : result.controller) w.value(p.to_string(17));
+    w.end_array();
+  }
+  w.end_object();
+  return w.str();
+}
+
+SpoolRunner::SpoolRunner(SynthesisServer& server, SpoolLayout layout)
+    : server_(server), layout_(std::move(layout)) {}
+
+bool SpoolRunner::drain_requested() const {
+  std::error_code ec;
+  return fs::exists(layout_.drain_file(), ec);
+}
+
+void SpoolRunner::write_error_result(const std::string& id,
+                                     const std::string& error) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("id").value(id);
+  w.key("verdict").value("REJECTED");
+  w.key("success").value(false);
+  w.key("error").value(error);
+  w.end_object();
+  atomic_write_file(layout_.results() + "/" + id + ".json", w.str());
+  ++results_written_;
+}
+
+int SpoolRunner::poll_once() {
+  if (server_.draining()) {
+    // Drain mode: stop ingesting (inbox files stay for the next server
+    // instance), only sweep finished jobs and refresh the status file.
+    sweep_results();
+    write_status();
+    return 0;
+  }
+  // Ingest in filename order so clients can impose FIFO with zero-padded
+  // names; priority inside the queue still wins across files.
+  std::vector<fs::path> files;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(layout_.inbox(), ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    if (entry.path().extension() != ".json") continue;
+    files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+
+  int ingested = 0;
+  for (const fs::path& file : files) {
+    std::string text;
+    if (!read_file(file.string(), &text)) continue;  // retry next poll
+    JobRequest request;
+    std::string error;
+    if (!parse_job_request(text, &request, &error)) {
+      write_error_result(stem_of(file), "parse error: " + error);
+      fs::remove(file, ec);
+      continue;
+    }
+    const SynthesisServer::Submit submit = server_.submit(request);
+    if (submit.kind == SynthesisServer::Submit::Kind::kRejected) {
+      if (submit.retry_after_seconds > 0.0) {
+        // Backpressure: the inbox is the overflow buffer. Leave this file
+        // (and everything after it) for the next poll round.
+        log_debug("spool: queue full, deferring ", file.filename().string());
+        break;
+      }
+      write_error_result(stem_of(file), submit.error);
+      fs::remove(file, ec);
+      continue;
+    }
+    Pending p;
+    p.id = request.id.empty() ? hash_to_hex(submit.key) : request.id;
+    p.key = submit.key;
+    p.warm_hit = (submit.kind == SynthesisServer::Submit::Kind::kWarmHit);
+    pending_[p.id] = p;
+    fs::remove(file, ec);
+    ++ingested;
+    ++ingested_total_;
+  }
+
+  sweep_results();
+  write_status();
+  return ingested;
+}
+
+void SpoolRunner::sweep_results() {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    const Pending& p = it->second;
+    std::shared_ptr<const SynthesisResult> result = server_.result(p.key);
+    if (result == nullptr) {
+      ++it;
+      continue;
+    }
+    const std::optional<JobStatus> status = server_.status(p.key);
+    const double queue_s = status ? status->queue_seconds : 0.0;
+    const double run_s = status ? status->run_seconds : 0.0;
+    const std::string path = layout_.results() + "/" + p.id + ".json";
+    atomic_write_file(path, job_result_json(p.id, p.key, *result, p.warm_hit,
+                                            queue_s, run_s));
+    ++results_written_;
+    it = pending_.erase(it);
+  }
+}
+
+void SpoolRunner::write_status() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("draining").value(server_.draining());
+  w.key("queue_depth").value(static_cast<std::uint64_t>(server_.queue_depth()));
+  w.key("submitted").value(server_.submitted());
+  w.key("cold_runs").value(server_.cold_runs());
+  w.key("warm_hits").value(server_.warm_hits());
+  w.key("duplicates").value(server_.duplicates());
+  w.key("rejected").value(server_.rejected());
+  w.key("pending").value(static_cast<std::uint64_t>(pending_.size()));
+  w.key("results_written").value(results_written_);
+  w.key("jobs").begin_array();
+  for (const JobStatus& s : server_.jobs()) {
+    w.begin_object();
+    w.key("id").value(s.id);
+    w.key("key").value(hash_to_hex(s.key));
+    w.key("state").value(to_string(s.state));
+    w.key("benchmark").value(s.benchmark);
+    w.key("verdict").value(s.verdict);
+    w.key("queue_seconds").value(s.queue_seconds);
+    w.key("run_seconds").value(s.run_seconds);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  atomic_write_file(layout_.status_file(), w.str());
+}
+
+}  // namespace scs

@@ -1,0 +1,90 @@
+// Filesystem spool protocol: the serving daemon's wire format.
+//
+// Clients talk to the server through a spool directory instead of a
+// socket -- requests are JSONL files dropped into inbox/, results appear
+// as results/<id>.json, and control actions are marker files under ctl/.
+// Writes on both sides are atomic (tmp + rename), so a half-written
+// request is never parsed and a half-written result is never read.
+//
+//   <spool>/inbox/<name>.json    one JobRequest per file (client writes)
+//   <spool>/results/<id>.json    one result per finished job (server writes)
+//   <spool>/ctl/drain            graceful-shutdown marker (client touches)
+//   <spool>/status.json          server heartbeat, refreshed every poll
+//
+// Backpressure composes with the queue bound: when submit() reports a
+// full queue, the runner leaves the request file in the inbox and retries
+// it on the next poll -- the inbox is the overflow buffer, the queue
+// capacity bounds memory, and no request is ever dropped.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "serve/server.hpp"
+
+namespace scs {
+
+struct SpoolLayout {
+  std::string root;
+
+  std::string inbox() const { return root + "/inbox"; }
+  std::string results() const { return root + "/results"; }
+  std::string ctl() const { return root + "/ctl"; }
+  std::string status_file() const { return root + "/status.json"; }
+  std::string drain_file() const { return ctl() + "/drain"; }
+};
+
+/// Create the spool directory tree. Returns false (with `error`) when the
+/// directories cannot be created.
+bool spool_init(const SpoolLayout& layout, std::string* error = nullptr);
+
+/// Write `content` to `path` atomically (same-directory tmp + rename).
+bool atomic_write_file(const std::string& path, const std::string& content);
+
+/// One finished job rendered for results/<id>.json: identity, verdict,
+/// timings, and -- on success -- the certified barrier certificate at
+/// round-trip precision.
+std::string job_result_json(const std::string& id, std::uint64_t key,
+                            const SynthesisResult& result, bool warm_hit,
+                            double queue_seconds, double run_seconds);
+
+/// Polls an inbox and feeds a SynthesisServer. Single-threaded by design:
+/// one runner owns the spool, the server provides the concurrency.
+class SpoolRunner {
+ public:
+  SpoolRunner(SynthesisServer& server, SpoolLayout layout);
+
+  /// One poll round: ingest inbox files, sweep finished jobs into
+  /// results/, refresh status.json. Returns the number of requests
+  /// ingested this round.
+  int poll_once();
+
+  /// True once ctl/drain exists (checked per poll by the daemon loop).
+  bool drain_requested() const;
+
+  /// Jobs ingested but not yet swept to results/.
+  std::size_t pending() const { return pending_.size(); }
+
+  /// Refresh status.json (also called by poll_once).
+  void write_status() const;
+
+ private:
+  struct Pending {
+    std::string id;
+    std::uint64_t key = 0;
+    bool warm_hit = false;
+  };
+
+  /// Sweep pending jobs whose results are ready into results/.
+  void sweep_results();
+  void write_error_result(const std::string& id, const std::string& error);
+
+  SynthesisServer& server_;
+  SpoolLayout layout_;
+  std::unordered_map<std::string, Pending> pending_;  // by result id
+  std::uint64_t ingested_total_ = 0;
+  std::uint64_t results_written_ = 0;
+};
+
+}  // namespace scs

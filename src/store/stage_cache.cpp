@@ -109,7 +109,10 @@ std::uint64_t validation_stage_key(std::uint64_t upstream_key,
 
 StageCache::StageCache(const StoreConfig& config) {
   const std::string dir = resolve_cache_dir(config);
-  if (!dir.empty()) store_ = std::make_shared<ArtifactStore>(dir);
+  if (!dir.empty()) {
+    store_ = std::make_shared<ArtifactStore>(dir);
+    reader_lock_ = std::make_shared<ReaderLockGuard>(dir);
+  }
 }
 
 const std::string& StageCache::dir() const {

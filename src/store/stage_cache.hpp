@@ -149,6 +149,10 @@ class StageCache {
                      StageCounters& c);
 
   std::shared_ptr<ArtifactStore> store_;  // null when disabled
+  /// Marks the cache directory as in-use so `store_cli gc` from another
+  /// process defers instead of evicting blobs under a live run (shared_ptr:
+  /// StageCache is copyable, the on-disk lock is per acquisition).
+  std::shared_ptr<ReaderLockGuard> reader_lock_;
 };
 
 }  // namespace scs

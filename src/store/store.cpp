@@ -1,8 +1,14 @@
 #include "store/store.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+
+#include <signal.h>
+#include <unistd.h>
 
 #include "util/fault_injector.hpp"
 #include "util/hash.hpp"
@@ -140,10 +146,24 @@ std::vector<BlobInfo> ArtifactStore::verify() const {
   return infos;
 }
 
-std::vector<std::string> ArtifactStore::gc(std::uint64_t max_bytes) {
-  std::vector<std::string> removed;
+ArtifactStore::GcReport ArtifactStore::gc(std::uint64_t max_bytes,
+                                          bool force) {
+  GcReport report;
+  std::vector<std::string>& removed = report.removed;
   std::error_code ec;
-  if (!fs::is_directory(root_, ec)) return removed;
+  if (!fs::is_directory(root_, ec)) return report;
+
+  // Safety interlock: evicting a blob a live pipeline is about to load --
+  // or the *.tmp a writer is about to rename -- silently degrades or
+  // breaks that run. Other processes announce themselves with reader
+  // locks; defer to them unless forced.
+  report.busy_pids = live_reader_pids(root_);
+  if (!report.busy_pids.empty() && !force) {
+    report.skipped = true;
+    log_info("store: gc skipped, root in use by ", report.busy_pids.size(),
+             " other process(es)");
+    return report;
+  }
 
   // Orphaned temp files from crashed writers.
   for (const auto& entry : fs::directory_iterator(root_, ec)) {
@@ -182,7 +202,57 @@ std::vector<std::string> ArtifactStore::gc(std::uint64_t max_bytes) {
       removed.push_back(info.file);
     }
   }
-  return removed;
+  return report;
+}
+
+ReaderLockGuard::ReaderLockGuard(const std::string& root) {
+  // One counter per process so several caches on the same root coexist.
+  static std::atomic<unsigned> seq{0};
+  std::error_code ec;
+  fs::create_directories(root, ec);
+  if (ec) return;
+  const fs::path path =
+      fs::path(root) / ("reader-" + std::to_string(::getpid()) + "-" +
+                        std::to_string(seq.fetch_add(1)) + ".lock");
+  std::ofstream os(path);
+  if (!os.good()) return;
+  os << ::getpid() << "\n";
+  os.close();
+  if (os.good()) path_ = path.string();
+}
+
+ReaderLockGuard::~ReaderLockGuard() {
+  if (path_.empty()) return;
+  std::error_code ec;
+  fs::remove(path_, ec);
+}
+
+std::vector<int> live_reader_pids(const std::string& root) {
+  std::vector<int> pids;
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) return pids;
+  const int own = static_cast<int>(::getpid());
+  for (const auto& entry : fs::directory_iterator(root, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("reader-", 0) != 0 ||
+        entry.path().extension() != ".lock")
+      continue;
+    const int pid = std::atoi(name.c_str() + 7);
+    if (pid <= 0 || pid == own) continue;
+    // kill(pid, 0) probes existence without signaling; EPERM still means
+    // the process is alive (just not ours to signal).
+    if (::kill(pid, 0) == 0 || errno == EPERM) {
+      if (std::find(pids.begin(), pids.end(), pid) == pids.end())
+        pids.push_back(pid);
+    } else {
+      // The owner died without cleanup: reap the stale lock so it cannot
+      // block gc forever.
+      fs::remove(entry.path(), ec);
+      log_info("store: reaped stale reader lock ", name);
+    }
+  }
+  return pids;
 }
 
 }  // namespace scs

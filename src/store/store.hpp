@@ -63,13 +63,54 @@ class ArtifactStore {
   /// list() plus a full checksum verification per blob.
   std::vector<BlobInfo> verify() const;
 
-  /// Garbage-collect: always removes unreadable/corrupt blobs and orphaned
-  /// *.tmp files; when max_bytes > 0, additionally evicts oldest-first
-  /// (by mtime) until the store fits. Returns the removed file names.
-  std::vector<std::string> gc(std::uint64_t max_bytes = 0);
+  /// Outcome of a gc() pass. When live readers from *other* processes are
+  /// registered under the root (see ReaderLockGuard) and force was false,
+  /// nothing is removed: skipped = true and busy_pids lists who blocked it.
+  struct GcReport {
+    std::vector<std::string> removed;  // file names deleted this pass
+    bool skipped = false;
+    std::vector<int> busy_pids;
+  };
+
+  /// Garbage-collect: removes unreadable/corrupt blobs and orphaned *.tmp
+  /// files; when max_bytes > 0, additionally evicts oldest-first (by mtime)
+  /// until the store fits. A gc racing a live pipeline could evict the blob
+  /// a warm stage is about to load -- or the *.tmp a writer is about to
+  /// rename -- so every destructive phase is skipped while another process
+  /// holds a reader lock on this root, unless `force` is set. Locks held by
+  /// the calling process itself do not block (in-process tests and tools
+  /// may hold a cache handle while gc'ing deliberately).
+  GcReport gc(std::uint64_t max_bytes = 0, bool force = false);
 
  private:
   std::string root_;
 };
+
+/// RAII liveness marker for a store root: creates
+/// `<root>/reader-<pid>-<n>.lock` on construction and removes it on
+/// destruction. Every enabled StageCache holds one, so a long-running
+/// daemon's cache directory is visibly "in use" to gc from other
+/// processes. Crash-safe: a lock whose pid no longer exists is reaped by
+/// the next live_reader_pids() scan. Creation is best-effort -- on I/O
+/// failure the guard is inert (path() empty) and gc protection is simply
+/// absent, matching the store's degrade-don't-crash policy.
+class ReaderLockGuard {
+ public:
+  explicit ReaderLockGuard(const std::string& root);
+  ~ReaderLockGuard();
+  ReaderLockGuard(const ReaderLockGuard&) = delete;
+  ReaderLockGuard& operator=(const ReaderLockGuard&) = delete;
+
+  /// Full path of the lock file ("" when creation failed).
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Distinct pids of *other* processes holding reader locks under `root`.
+/// Stale locks (dead pid) are removed as a side effect; the calling
+/// process's own locks are ignored.
+std::vector<int> live_reader_pids(const std::string& root);
 
 }  // namespace scs

@@ -1,0 +1,386 @@
+// Serving-subsystem tests: request wire format, the bounded sharded
+// priority queue, dedupe/exactly-one-cold under concurrent submission,
+// warm-hit identity, graceful drain, ledger integrity, queued-job
+// cancellation, and the spool protocol.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/ledger.hpp"
+#include "serve/job_queue.hpp"
+#include "serve/request.hpp"
+#include "serve/server.hpp"
+#include "serve/spool.hpp"
+#include "util/hash.hpp"
+
+namespace scs {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const char* tag) : path(fs::temp_directory_path() / tag) {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+    fs::create_directories(path, ec);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string str() const { return path.string(); }
+};
+
+JobRequest fast_request(std::uint64_t seed) {
+  JobRequest r;
+  r.benchmark = "C1";
+  r.seed = seed;
+  r.fast_mode = true;
+  r.rl_episodes = 2;
+  return r;
+}
+
+// ---- Request wire format.
+
+TEST(JobRequestWire, RoundTripsThroughJson) {
+  JobRequest r;
+  r.id = "my \"job\"";  // escaping must survive
+  r.benchmark = "C3";
+  r.seed = 42;
+  r.fast_mode = true;
+  r.rl_episodes = 17;
+  r.priority = -3;
+  r.deadline_seconds = 1.5;
+
+  JobRequest back;
+  std::string error;
+  ASSERT_TRUE(parse_job_request(job_request_json(r), &back, &error)) << error;
+  EXPECT_EQ(back.id, r.id);
+  EXPECT_EQ(back.benchmark, r.benchmark);
+  EXPECT_EQ(back.seed, r.seed);
+  EXPECT_EQ(back.fast_mode, r.fast_mode);
+  EXPECT_EQ(back.rl_episodes, r.rl_episodes);
+  EXPECT_EQ(back.priority, r.priority);
+  EXPECT_DOUBLE_EQ(back.deadline_seconds, r.deadline_seconds);
+}
+
+TEST(JobRequestWire, RejectsMalformedRequests) {
+  JobRequest out;
+  std::string error;
+  EXPECT_FALSE(parse_job_request("not json", &out, &error));
+  EXPECT_FALSE(parse_job_request("[1,2]", &out, &error));
+  EXPECT_FALSE(parse_job_request("{\"seed\":1}", &out, &error));
+  EXPECT_NE(error.find("benchmark"), std::string::npos);
+  // Defaults apply for optional fields.
+  ASSERT_TRUE(parse_job_request("{\"benchmark\":\"C1\"}", &out, &error));
+  EXPECT_EQ(out.seed, 1u);
+  EXPECT_EQ(out.rl_episodes, -1);
+}
+
+TEST(JobRequestWire, ServeKeyIgnoresSchedulingFields) {
+  // The dedupe key is synthesis identity: scheduling knobs (priority,
+  // deadline, client id) must not fragment the cache.
+  JobRequest a = fast_request(5);
+  JobRequest b = a;
+  b.id = "different-client";
+  b.priority = 9;
+  b.deadline_seconds = 123.0;
+  EXPECT_EQ(serve_key(a), serve_key(b));
+
+  JobRequest c = a;
+  c.seed = 6;
+  EXPECT_NE(serve_key(a), serve_key(c));
+  JobRequest d = a;
+  d.fast_mode = false;
+  EXPECT_NE(serve_key(a), serve_key(d));
+}
+
+TEST(JobRequestWire, KnowsAllBenchmarks) {
+  EXPECT_TRUE(benchmark_id_from_name("C1").has_value());
+  EXPECT_TRUE(benchmark_id_from_name("C10").has_value());
+  EXPECT_FALSE(benchmark_id_from_name("C99").has_value());
+  EXPECT_FALSE(benchmark_id_from_name("").has_value());
+}
+
+// ---- ShardedJobQueue.
+
+TEST(ShardedJobQueue, PopsByPriorityThenFifo) {
+  ShardedJobQueue q(16, 4);
+  std::vector<int> order;
+  for (int i = 0; i < 6; ++i) {
+    const int priority = (i % 2 == 0) ? 0 : 5;
+    ASSERT_EQ(q.push(priority, [&order, i] { order.push_back(i); }),
+              ShardedJobQueue::Push::kAccepted);
+  }
+  std::function<void()> fn;
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(q.pop(fn));
+    fn();
+  }
+  // Priority 5 first (1, 3, 5 in arrival order), then priority 0 (0, 2, 4).
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 5, 0, 2, 4}));
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(ShardedJobQueue, EnforcesCapacityAndReportsFull) {
+  ShardedJobQueue q(2, 2);
+  EXPECT_EQ(q.push(0, [] {}), ShardedJobQueue::Push::kAccepted);
+  EXPECT_EQ(q.push(0, [] {}), ShardedJobQueue::Push::kAccepted);
+  EXPECT_EQ(q.push(0, [] {}), ShardedJobQueue::Push::kFull);
+  std::function<void()> fn;
+  ASSERT_TRUE(q.pop(fn));
+  EXPECT_EQ(q.push(0, [] {}), ShardedJobQueue::Push::kAccepted);
+}
+
+TEST(ShardedJobQueue, CloseDrainsThenStops) {
+  ShardedJobQueue q(8);
+  ASSERT_EQ(q.push(0, [] {}), ShardedJobQueue::Push::kAccepted);
+  ASSERT_EQ(q.push(0, [] {}), ShardedJobQueue::Push::kAccepted);
+  q.close();
+  EXPECT_EQ(q.push(0, [] {}), ShardedJobQueue::Push::kClosed);
+  std::function<void()> fn;
+  EXPECT_TRUE(q.pop(fn));   // accepted items stay poppable
+  EXPECT_TRUE(q.pop(fn));
+  EXPECT_FALSE(q.pop(fn));  // drained + closed -> consumer exit signal
+}
+
+TEST(ShardedJobQueue, ConcurrentPushPopLosesNothing) {
+  // 4 producers x 250 items against 4 consumers; every item runs exactly
+  // once and the capacity bound holds throughout.
+  ShardedJobQueue q(64, 4);
+  constexpr int kProducers = 4, kPerProducer = 250;
+  std::atomic<int> executed{0}, rejected{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        for (;;) {
+          const auto outcome = q.push(i % 3, [&executed] { ++executed; });
+          if (outcome == ShardedJobQueue::Push::kAccepted) break;
+          ASSERT_EQ(outcome, ShardedJobQueue::Push::kFull);
+          ++rejected;
+          std::this_thread::yield();
+        }
+        ASSERT_LE(q.size(), 64u);
+      }
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 4; ++c) {
+    consumers.emplace_back([&] {
+      std::function<void()> fn;
+      while (q.pop(fn)) fn();
+    });
+  }
+  for (auto& t : threads) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(executed.load(), kProducers * kPerProducer);
+}
+
+// ---- SynthesisServer: the exactly-one-cold stress (satellite: concurrent
+// submission), warm-hit identity, drain, ledger integrity.
+
+TEST(SynthesisServer, ConcurrentDuplicateSubmitsRunExactlyOneColdPerKey) {
+  TempDir ledger_dir("scs_serve_stress_ledger");
+  const std::string ledger = (ledger_dir.path / "ledger.jsonl").string();
+
+  ServerConfig config;
+  config.workers = 2;
+  config.queue_capacity = 64;
+  config.store.mode = StoreConfig::Mode::kOff;
+  config.ledger_path = ledger;
+
+  constexpr int kUniqueKeys = 2;
+  constexpr int kThreads = 6;
+
+  std::atomic<std::uint64_t> accepted{0}, attached{0};
+  {
+    SynthesisServer server(config);
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < kThreads; ++t) {
+      submitters.emplace_back([&] {
+        for (int u = 0; u < kUniqueKeys; ++u) {
+          // Every thread submits every unique request -> duplicates race.
+          const auto s = server.submit(fast_request(100 + u));
+          ASSERT_NE(s.kind, SynthesisServer::Submit::Kind::kRejected)
+              << s.error;
+          if (s.kind == SynthesisServer::Submit::Kind::kAccepted)
+            ++accepted;
+          else
+            ++attached;
+        }
+      });
+    }
+    for (auto& t : submitters) t.join();
+    std::vector<std::uint64_t> keys(kUniqueKeys, 0);
+    for (int u = 0; u < kUniqueKeys; ++u)
+      keys[u] = serve_key(fast_request(100 + u));
+
+    // Exactly one submission per key was accepted for a cold run; all
+    // others attached (duplicate in flight or warm hit).
+    EXPECT_EQ(accepted.load(), static_cast<std::uint64_t>(kUniqueKeys));
+    EXPECT_EQ(attached.load(),
+              static_cast<std::uint64_t>(kThreads * kUniqueKeys - kUniqueKeys));
+
+    // All waiters for one key see the *same* result object.
+    for (int u = 0; u < kUniqueKeys; ++u) {
+      const auto r1 = server.wait(keys[u]);
+      const auto r2 = server.result(keys[u]);
+      ASSERT_NE(r1, nullptr);
+      EXPECT_EQ(r1.get(), r2.get());
+      EXPECT_EQ(r1->benchmark, "C1");
+    }
+
+    server.drain();
+    EXPECT_EQ(server.cold_runs(), static_cast<std::uint64_t>(kUniqueKeys));
+    EXPECT_EQ(server.submitted(),
+              static_cast<std::uint64_t>(kThreads * kUniqueKeys));
+    EXPECT_EQ(server.duplicates() + server.warm_hits(), attached.load());
+    EXPECT_EQ(server.rejected(), 0u);
+    EXPECT_EQ(server.queue_depth(), 0u);
+
+    // A post-drain submit is rejected, not lost silently.
+    const auto late = server.submit(fast_request(999));
+    EXPECT_EQ(late.kind, SynthesisServer::Submit::Kind::kRejected);
+
+    // Ledger integrity: one "serve" record per cold run, one "serve-hit"
+    // record per warm hit, nothing torn, nothing duplicated.
+    const LedgerReadResult read = ledger_read(ledger);
+    EXPECT_EQ(read.skipped, 0);
+    std::uint64_t cold_records = 0, hit_records = 0;
+    for (const LedgerRecord& rec : read.records) {
+      if (rec.source == "serve") ++cold_records;
+      if (rec.source == "serve-hit") ++hit_records;
+    }
+    EXPECT_EQ(cold_records, server.cold_runs());
+    EXPECT_EQ(hit_records, server.warm_hits());
+    EXPECT_EQ(read.records.size(), cold_records + hit_records);
+  }
+}
+
+TEST(SynthesisServer, CancelledQueuedJobFinishesCancelledWithoutSolverWork) {
+  ServerConfig config;
+  config.workers = 1;  // force the second job to queue behind the first
+  config.store.mode = StoreConfig::Mode::kOff;
+  SynthesisServer server(config);
+
+  const auto first = server.submit(fast_request(200));
+  ASSERT_EQ(first.kind, SynthesisServer::Submit::Kind::kAccepted);
+  const auto second = server.submit(fast_request(201));
+  ASSERT_EQ(second.kind, SynthesisServer::Submit::Kind::kAccepted);
+
+  EXPECT_TRUE(server.cancel(second.key));
+  const auto result = server.wait(second.key);
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->verdict, "CANCELLED");
+  EXPECT_FALSE(result->success);
+  // The cancelled job hit the first stage gate: no RL training, no solver.
+  EXPECT_EQ(result->failure_stage, "rl");
+
+  EXPECT_FALSE(server.cancel(second.key));  // already done
+  EXPECT_FALSE(server.cancel(0xdeadbeef));  // unknown key
+  server.drain();
+}
+
+TEST(SynthesisServer, WarmHitMatchesDirectJobRunBitwise) {
+  // Golden server-vs-CLI: the served result must be the same bytes a
+  // direct SynthesisJob run (what synthesize_cli does) produces.
+  const JobRequest request = fast_request(300);
+  const SynthesisResult direct =
+      make_job(request, StoreConfig{StoreConfig::Mode::kOff, ""}, "").run();
+
+  ServerConfig config;
+  config.store.mode = StoreConfig::Mode::kOff;
+  SynthesisServer server(config);
+  const auto submit = server.submit(request);
+  ASSERT_EQ(submit.kind, SynthesisServer::Submit::Kind::kAccepted);
+  const auto served = server.wait(submit.key);
+  ASSERT_NE(served, nullptr);
+
+  EXPECT_EQ(served->verdict, direct.verdict);
+  ASSERT_EQ(served->controller.size(), direct.controller.size());
+  for (std::size_t i = 0; i < direct.controller.size(); ++i)
+    EXPECT_EQ(served->controller[i].to_string(17),
+              direct.controller[i].to_string(17));
+  EXPECT_EQ(served->barrier.barrier.to_string(17),
+            direct.barrier.barrier.to_string(17));
+
+  // And a repeat submit is a warm hit answered from memory.
+  const auto again = server.submit(request);
+  EXPECT_EQ(again.kind, SynthesisServer::Submit::Kind::kWarmHit);
+  EXPECT_EQ(server.result(again.key).get(), served.get());
+  server.drain();
+}
+
+// ---- Spool protocol.
+
+TEST(Spool, IngestsRequestsAndWritesResults) {
+  TempDir spool("scs_spool_test");
+  SpoolLayout layout{spool.str()};
+  std::string error;
+  ASSERT_TRUE(spool_init(layout, &error)) << error;
+
+  ServerConfig config;
+  config.store.mode = StoreConfig::Mode::kOff;
+  SynthesisServer server(config);
+  SpoolRunner runner(server, layout);
+
+  // A malformed request and an unknown benchmark both produce rejection
+  // result files; a valid request is ingested and swept when done.
+  std::ofstream(layout.inbox() + "/bad.json") << "{ nope";
+  ASSERT_TRUE(atomic_write_file(
+      layout.inbox() + "/unknown.json",
+      "{\"id\":\"unknown\",\"benchmark\":\"C99\"}"));
+  JobRequest good = fast_request(400);
+  good.id = "good";
+  ASSERT_TRUE(atomic_write_file(layout.inbox() + "/good.json",
+                                job_request_json(good)));
+
+  runner.poll_once();
+  EXPECT_TRUE(fs::exists(layout.results() + "/bad.json"));
+  EXPECT_TRUE(fs::exists(layout.results() + "/unknown.json"));
+  EXPECT_TRUE(fs::exists(layout.inbox()) &&
+              !fs::exists(layout.inbox() + "/good.json"));
+  EXPECT_EQ(runner.pending(), 1u);
+
+  // Wait for the job, then the next poll sweeps the result file out.
+  const std::uint64_t key = serve_key(good);
+  ASSERT_NE(server.wait(key), nullptr);
+  runner.poll_once();
+  EXPECT_EQ(runner.pending(), 0u);
+  ASSERT_TRUE(fs::exists(layout.results() + "/good.json"));
+
+  // The result and status files are strict JSON with the expected fields.
+  std::stringstream result_text;
+  result_text << std::ifstream(layout.results() + "/good.json").rdbuf();
+  EXPECT_NE(result_text.str().find("\"id\":\"good\""), std::string::npos);
+  EXPECT_NE(result_text.str().find("\"verdict\""), std::string::npos);
+  std::stringstream status_text;
+  status_text << std::ifstream(layout.status_file()).rdbuf();
+  EXPECT_NE(status_text.str().find("\"cold_runs\":1"), std::string::npos);
+
+  // Drain marker protocol.
+  EXPECT_FALSE(runner.drain_requested());
+  ASSERT_TRUE(atomic_write_file(layout.drain_file(), "drain\n"));
+  EXPECT_TRUE(runner.drain_requested());
+
+  // Post-drain polls never ingest: a leftover inbox file survives for the
+  // next server instance instead of being bounced as a rejection.
+  server.drain();
+  ASSERT_TRUE(atomic_write_file(layout.inbox() + "/later.json",
+                                job_request_json(fast_request(401))));
+  runner.poll_once();
+  EXPECT_TRUE(fs::exists(layout.inbox() + "/later.json"));
+}
+
+}  // namespace
+}  // namespace scs

@@ -10,6 +10,9 @@
 #include <string>
 #include <vector>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include "core/pipeline.hpp"
 #include "store/serialize.hpp"
 #include "store/stage_cache.hpp"
@@ -210,7 +213,7 @@ TEST(ArtifactStoreTest, PutGetListVerifyGc) {
   for (const auto& b : store.verify())
     if (!b.checksum_ok) ++corrupt;
   EXPECT_EQ(corrupt, 1);
-  const auto removed = store.gc();
+  const auto removed = store.gc().removed;
   EXPECT_EQ(removed.size(), 1u);
   EXPECT_FALSE(store.contains("rl", 7));
   EXPECT_TRUE(store.contains("pac", 8));
@@ -221,11 +224,77 @@ TEST(ArtifactStoreTest, GcEvictsToByteBudget) {
   ArtifactStore store(dir.str());
   const std::vector<unsigned char> big(4096, 0xab);
   for (std::uint64_t k = 0; k < 6; ++k) store.put("rl", k, "C1", big);
-  const auto removed = store.gc(2 * 4200);  // budget for ~2 blobs
+  const auto removed = store.gc(2 * 4200).removed;  // budget for ~2 blobs
   EXPECT_GE(removed.size(), 4u);
   std::uint64_t left = 0;
   for (const auto& b : store.list()) left += b.file_bytes;
   EXPECT_LE(left, 2u * 4200u);
+}
+
+// ---- gc vs live readers: the reader-lock interlock (store_cli gc must
+// not evict blobs under a running daemon).
+
+TEST(ArtifactStoreTest, GcDefersToOtherProcessReaders) {
+  TempDir dir("scs_store_test_gc_lock");
+  ArtifactStore store(dir.str());
+  store.put("rl", 1, "C1", std::vector<unsigned char>(64, 0x5a));
+  // Corrupt the blob so an unskipped gc would certainly remove it.
+  {
+    std::fstream f(store.blob_path("rl", 1),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(10);
+    f.put('\xff');
+  }
+  // Simulate a lock held by another *live* process: pid 1 always exists.
+  std::ofstream(dir.path / "reader-1-0.lock") << "1\n";
+
+  const ArtifactStore::GcReport deferred = store.gc();
+  EXPECT_TRUE(deferred.skipped);
+  EXPECT_EQ(deferred.busy_pids, std::vector<int>{1});
+  EXPECT_TRUE(deferred.removed.empty());
+  EXPECT_TRUE(fs::exists(store.blob_path("rl", 1)));
+
+  // --force overrides the interlock (the lock file itself is not a blob,
+  // so it survives the pass).
+  const ArtifactStore::GcReport forced = store.gc(0, /*force=*/true);
+  EXPECT_FALSE(forced.skipped);
+  EXPECT_EQ(forced.removed.size(), 1u);
+  EXPECT_FALSE(fs::exists(store.blob_path("rl", 1)));
+  EXPECT_TRUE(fs::exists(dir.path / "reader-1-0.lock"));
+}
+
+TEST(ArtifactStoreTest, GcReapsStaleLocksAndIgnoresOwnProcess) {
+  TempDir dir("scs_store_test_gc_stale");
+  ArtifactStore store(dir.str());
+  store.put("rl", 2, "C1", std::vector<unsigned char>(64, 0x5a));
+
+  // A lock whose owner is dead must be reaped, not block gc forever. A
+  // just-reaped child pid is guaranteed dead and not yet recycled.
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) _exit(0);
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(child, &wstatus, 0), child);
+  const std::string stale =
+      "reader-" + std::to_string(child) + "-0.lock";
+  std::ofstream(dir.path / stale) << child << "\n";
+
+  // An own-process lock (what an in-process StageCache holds) must not
+  // block either -- a tool may hold a cache handle while gc'ing.
+  StageCache cache([&] {
+    StoreConfig cfg;
+    cfg.mode = StoreConfig::Mode::kOn;
+    cfg.cache_dir = dir.str();
+    return cfg;
+  }());
+  ASSERT_TRUE(cache.enabled());
+
+  EXPECT_TRUE(live_reader_pids(dir.str()).empty());
+  EXPECT_FALSE(fs::exists(dir.path / stale));  // reaped
+
+  const ArtifactStore::GcReport report = store.gc();
+  EXPECT_FALSE(report.skipped);
+  EXPECT_TRUE(fs::exists(store.blob_path("rl", 2)));  // healthy blob kept
 }
 
 // ---- Stage keys: content-addressing and upstream invalidation.
