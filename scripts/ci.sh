@@ -28,6 +28,11 @@
 #                            # then a spool daemon smoke where the second
 #                            # submit of the same request must be answered
 #                            # warm from the dedupe map
+#   scripts/ci.sh race       # portfolio-racing suite: race-labeled tests
+#                            # under tsan (speculative arms + cancellation
+#                            # must be data-race free) and in Release, then
+#                            # a raced-vs-replayed determinism smoke where
+#                            # the pinned winner must reproduce bitwise
 #   scripts/ci.sh simd       # SCS_SIMD=OFF build + full tests (the scalar
 #                            # fallback must stand alone), then the
 #                            # simd-labeled suite under ubsan so the
@@ -121,7 +126,8 @@ run_perf() {
   echo "==> Perf regression gate (run ledger + baselines + Table-2 dashboard)"
   cmake --preset default
   cmake --build --preset default -j "${JOBS}" \
-      --target synthesize_cli report_cli bench_obs bench_solvers bench_serve
+      --target synthesize_cli report_cli bench_obs bench_solvers bench_serve \
+      bench_race
   local tmp rc
   tmp="$(mktemp -d)"
 
@@ -147,6 +153,11 @@ run_perf() {
   # the warm-hit latency/speedup so a regression in the serving hot path
   # (e.g. an accidental store round trip per hit) fails CI.
   (cd "${tmp}" && TMPDIR="${tmp}" "${OLDPWD}/build/bench/bench_serve")
+  # bench_race times the serial ladder against the raced arms on a
+  # BMI-heavy system and self-checks the >= 1.3x speedup gate plus the
+  # bitwise replay of the recorded winner; the baseline re-pins both so
+  # the numbers land in the dashboard next to the other suites.
+  (cd "${tmp}" && "${OLDPWD}/build/bench/bench_race")
   ./build/bench/bench_solvers \
       --benchmark_filter='BM_Matmul/64/100$|BM_MinimaxFit_SamplesSweep/1000$|BM_KernelSpeedup_Matmul$|BM_SosGramPrune/(full|pruned)/4$|BM_SdpWarmStart/(cold|warm)$' \
       --benchmark_format=json \
@@ -158,9 +169,11 @@ run_perf() {
       --bench bench_obs="${tmp}/BENCH_obs.json" \
       --bench bench_solvers="${tmp}/BENCH_solvers.json" \
       --bench bench_serve="${tmp}/BENCH_serve.json" \
+      --bench bench_race="${tmp}/BENCH_race.json" \
       --baseline baselines/bench_obs.json \
       --baseline baselines/bench_solvers.json \
       --baseline baselines/serve.json \
+      --baseline baselines/race.json \
       --baseline baselines/table2_fast.json \
       --markdown "${tmp}/report.md" --json "${tmp}/report.json"
   grep -q 'Table 2 reproduction dashboard' "${tmp}/report.md" || {
@@ -280,6 +293,30 @@ run_serve() {
   rm -rf "${tmp}"
 }
 
+run_race() {
+  echo "==> Portfolio-racing suite under ThreadSanitizer"
+  # race_test runs speculative arms on the pool and cancels losers through
+  # child JobControl scopes; the whole dance must be clean under tsan.
+  cmake --preset tsan
+  cmake --build --preset tsan -j "${JOBS}" --target race_test
+  ctest --preset tsan-race -j "${JOBS}" --output-on-failure
+
+  echo "==> Race-labeled tests in the Release tree"
+  cmake --preset default
+  cmake --build --preset default -j "${JOBS}" --target race_test bench_race
+  (cd build && ctest -L race --output-on-failure)
+
+  echo "==> Replay-determinism smoke (raced winner pinned and reproduced)"
+  # bench_race itself exits nonzero unless the replay of the recorded
+  # winning arm is bitwise-identical to the raced result; SCS_FAST skips
+  # the wall-clock speedup gate (that stays in the perf job) so this smoke
+  # asserts determinism only.
+  local tmp
+  tmp="$(mktemp -d)"
+  (cd "${tmp}" && SCS_FAST=1 "${OLDPWD}/build/bench/bench_race")
+  rm -rf "${tmp}"
+}
+
 run_simd() {
   echo "==> SCS_SIMD=OFF build + full test suite (scalar kernels only)"
   cmake --preset scalar
@@ -304,9 +341,10 @@ case "${1:-all}" in
   perf)    run_perf ;;
   fuzz)    run_fuzz ;;
   serve)   run_serve ;;
+  race)    run_race ;;
   simd)    run_simd ;;
-  all)     run_release; run_asan; run_ubsan; run_store; run_obs; run_perf; run_fuzz; run_serve; run_simd ;;
-  *) echo "unknown configuration: $1 (want release|asan|ubsan|fault|store|obs|perf|fuzz|serve|simd|all)" >&2
+  all)     run_release; run_asan; run_ubsan; run_store; run_obs; run_perf; run_fuzz; run_serve; run_race; run_simd ;;
+  *) echo "unknown configuration: $1 (want release|asan|ubsan|fault|store|obs|perf|fuzz|serve|race|simd|all)" >&2
      exit 2 ;;
 esac
 

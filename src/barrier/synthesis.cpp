@@ -1,13 +1,18 @@
 #include "barrier/synthesis.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <memory>
 
+#include "obs/metrics.hpp"
 #include "poly/basis.hpp"
 #include "sos/sos_program.hpp"
+#include "util/cancellation.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 #include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
 #include "util/hash.hpp"
 
 namespace scs {
@@ -262,6 +267,144 @@ Polynomial random_lambda(std::size_t n, LambdaStrategy strategy, int attempt,
   return Polynomial(n);
 }
 
+// ---- The ladder as an explicit arm grid.
+//
+// One arm = one (lambda-strategy, degree-rung, attempt) cell of the retry
+// ladder, self-contained: its own Rng stream (forked by flat index from
+// BarrierConfig::seed, so an arm's draws never depend on which other arms
+// ran or what they returned) and its own JobControl scope. The serial
+// ladder walks the arms in order; the portfolio racer runs them
+// speculatively and cancels the losers.
+
+struct Arm {
+  LambdaStrategy strategy = LambdaStrategy::kConstant;
+  int degree = 0;   // d_B rung
+  int attempt = 0;  // lambda retry within the rung
+};
+
+std::string arm_desc(const Arm& arm) {
+  return to_string(arm.strategy) + "/d=" + std::to_string(arm.degree) +
+         "/a=" + std::to_string(arm.attempt);
+}
+
+/// Flatten the configured ladder. Degree-major (cheap rungs first), then
+/// strategy, then attempt: with a single strategy this is exactly the
+/// classic serial schedule.
+std::vector<Arm> enumerate_arms(const BarrierConfig& config) {
+  // A non-empty strategy list defines the grid whether or not racing is
+  // on: the serial ladder, the racer, and replay must all see the same
+  // arm indexing for winner_arm to be meaningful across modes.
+  std::vector<LambdaStrategy> strategies;
+  if (!config.race.strategies.empty())
+    strategies = config.race.strategies;
+  else
+    strategies = {config.lambda_strategy};
+  std::vector<Arm> arms;
+  for (int d_b : config.degree_schedule) {
+    SCS_REQUIRE(d_b >= 1, "synthesize_barrier: degrees must be >= 1");
+    for (LambdaStrategy strategy : strategies) {
+      const int attempts = (strategy == LambdaStrategy::kZero)
+                               ? 1
+                               : config.lambda_attempts;
+      for (int attempt = 0; attempt < attempts; ++attempt)
+        arms.push_back({strategy, d_b, attempt});
+    }
+  }
+  return arms;
+}
+
+struct ArmOutcome {
+  /// The final solve of the arm. When feasible, the diagnostics inside are
+  /// those of the *accepted* solve (lambda-step, B-step, or plain LMI).
+  ProgramOutcome program;
+  /// "lmi" | "bmi-lambda" | "bmi-b" when feasible, "" otherwise.
+  std::string accepted_via;
+  int attempts = 0;  // SOS programs solved by this arm
+  /// Stopped by the arm's JobControl (race loser or job-level stop) rather
+  /// than by running out of ideas.
+  bool preempted = false;
+  /// The arm got past its control gate and built at least one program.
+  bool launched = false;
+};
+
+/// One complete arm: draw lambda, solve the LMI, run the alternating BMI
+/// recovery when configured, gate the extracted certificate. `rng` is the
+/// arm's private stream; `control` its cancellation scope.
+ArmOutcome run_arm(const Ccds& system,
+                   const std::vector<Polynomial>& closed_field,
+                   const Arm& arm, const BarrierConfig& config,
+                   const JobControl* control, Rng rng) {
+  ArmOutcome out;
+  if (stop_requested(control)) {
+    out.preempted = true;
+    return out;
+  }
+  out.launched = true;
+  BarrierConfig cfg = config;
+  cfg.sdp.control = control;  // preempts every inner solve mid-interior-point
+
+  Polynomial lambda =
+      random_lambda(system.num_states, arm.strategy, arm.attempt, rng);
+  ++out.attempts;
+  ProgramOutcome outcome = solve_program(
+      system, closed_field, arm.degree,
+      lambda.degree() < 0 ? 0 : lambda.degree(), nullptr, &lambda, cfg);
+  std::string via = "lmi";
+
+  // Alternating BMI heuristic: bounce between the lambda-step (B fixed)
+  // and the B-step (lambda fixed), starting from the best iterate of the
+  // failed LMI solve.
+  if (!outcome.feasible && arm.strategy == LambdaStrategy::kAlternating &&
+      !outcome.barrier.is_zero()) {
+    Polynomial b_cur = outcome.barrier;
+    for (int round = 0; round < config.bmi_rounds && !outcome.feasible;
+         ++round) {
+      if (stop_requested(control)) break;
+      // lambda-step: fix B, free lambda (degree 1).
+      ++out.attempts;
+      ProgramOutcome lam_step = solve_program(system, closed_field,
+                                              arm.degree, 1, &b_cur, nullptr,
+                                              cfg);
+      if (lam_step.lambda.is_zero() && !lam_step.feasible) break;
+      lambda = lam_step.lambda;
+      if (lam_step.feasible) {
+        // Adopt the accepted solve wholesale -- barrier, lambda, AND its
+        // diagnostics (the residual/eigenvalue of the earlier failed solve
+        // must not outlive it).
+        outcome = lam_step;
+        via = "bmi-lambda";
+        break;
+      }
+      if (stop_requested(control)) break;
+      // B-step: fix lambda, free B.
+      ++out.attempts;
+      ProgramOutcome b_step =
+          solve_program(system, closed_field, arm.degree, lambda.degree(),
+                        nullptr, &lambda, cfg);
+      // The last solve's diagnostics stand even when the B-step collapses
+      // to the zero polynomial and the recovery is abandoned.
+      outcome.max_identity_residual = b_step.max_identity_residual;
+      outcome.min_gram_eigenvalue = b_step.min_gram_eigenvalue;
+      if (b_step.barrier.is_zero()) break;
+      b_cur = b_step.barrier;
+      outcome = b_step;
+      via = "bmi-b";
+    }
+  }
+
+  if (outcome.feasible &&
+      !quick_certificate_check(system, closed_field, outcome.barrier, config,
+                               rng)) {
+    outcome.feasible = false;
+    outcome.failure_reason = "certificate failed the sampled Theorem-1 gate";
+  }
+  out.preempted = stop_requested(control);
+  if (out.preempted) outcome.feasible = false;
+  out.accepted_via = outcome.feasible ? via : "";
+  out.program = std::move(outcome);
+  return out;
+}
+
 }  // namespace
 
 namespace {
@@ -315,84 +458,166 @@ BarrierResult synthesize_barrier_closed(
   Vec s_inv(n);
   for (std::size_t i = 0; i < n; ++i) s_inv[i] = 1.0 / s[i];
 
-  for (int d_b : config.degree_schedule) {
-    SCS_REQUIRE(d_b >= 1, "synthesize_barrier: degrees must be >= 1");
-    const int attempts = (config.lambda_strategy == LambdaStrategy::kZero)
-                             ? 1
-                             : config.lambda_attempts;
-    for (int attempt = 0; attempt < attempts; ++attempt) {
-      // Job-level preemption: the SDP under a stopped control returns
-      // immediately, so without this gate the ladder would still burn one
-      // program *construction* per remaining rung.
-      if (stop_requested(config.sdp.control)) {
-        result.seconds = sw.seconds();
-        result.failure_reason = "preempted (job cancelled or deadline)";
-        return result;
-      }
-      Polynomial lambda =
-          random_lambda(system.num_states, config.lambda_strategy, attempt,
-                        rng);
-      ++result.attempts;
-      ProgramOutcome outcome = solve_program(
-          system, closed_field, d_b, lambda.degree() < 0 ? 0 : lambda.degree(),
-          nullptr, &lambda, config);
-      result.max_identity_residual = outcome.max_identity_residual;
-      result.min_gram_eigenvalue = outcome.min_gram_eigenvalue;
-      result.failure_reason = outcome.failure_reason;
+  const std::vector<Arm> arms = enumerate_arms(config);
+  std::vector<Rng> streams = rng.fork_streams(arms.size());
 
-      // Alternating BMI heuristic: bounce between the lambda-step (B fixed)
-      // and the B-step (lambda fixed), starting from the best iterate of the
-      // failed LMI solve.
-      if (!outcome.feasible &&
-          config.lambda_strategy == LambdaStrategy::kAlternating &&
-          !outcome.barrier.is_zero()) {
-        Polynomial b_cur = outcome.barrier;
-        for (int round = 0; round < config.bmi_rounds && !outcome.feasible;
-             ++round) {
-          // lambda-step: fix B, free lambda (degree 1).
-          ++result.attempts;
-          ProgramOutcome lam_step = solve_program(
-              system, closed_field, d_b, 1, &b_cur, nullptr, config);
-          if (lam_step.lambda.is_zero() && !lam_step.feasible) break;
-          lambda = lam_step.lambda;
-          if (lam_step.feasible) {
-            outcome = lam_step;
-            break;
-          }
-          // B-step: fix lambda, free B.
-          ++result.attempts;
-          ProgramOutcome b_step =
-              solve_program(system, closed_field, d_b, lambda.degree(),
-                            nullptr, &lambda, config);
-          result.max_identity_residual = b_step.max_identity_residual;
-          result.min_gram_eigenvalue = b_step.min_gram_eigenvalue;
-          if (b_step.barrier.is_zero()) break;
-          b_cur = b_step.barrier;
-          outcome = b_step;
+  // Adopt the arm's accepted solve into the result, mapping the certificate
+  // back to the original coordinates: B(x) = B_y(S^{-1} x).
+  const auto accept = [&](std::size_t index, const ArmOutcome& out) {
+    result.success = true;
+    result.barrier = out.program.barrier.scale_vars(s_inv);
+    result.lambda = out.program.lambda.scale_vars(s_inv);
+    result.degree = arms[index].degree;
+    result.strategy_used = arms[index].strategy;
+    result.max_identity_residual = out.program.max_identity_residual;
+    result.min_gram_eigenvalue = out.program.min_gram_eigenvalue;
+    result.accepted_via = out.accepted_via;
+    result.winner_arm = static_cast<int>(index);
+    result.winner_arm_desc = arm_desc(arms[index]);
+    result.failure_reason.clear();
+  };
+
+  // ---- Deterministic replay: run exactly the recorded winner arm under
+  // its recorded stream. Bitwise-equal to the raced result it reproduces
+  // (arm numerics are schedule-independent by construction).
+  if (config.race.replay_arm >= 0) {
+    const auto index = static_cast<std::size_t>(config.race.replay_arm);
+    result.raced = true;
+    if (index >= arms.size()) {
+      result.seconds = sw.seconds();
+      result.failure_reason = "replay_arm out of range for the arm grid";
+      return result;
+    }
+    ArmOutcome out = run_arm(system, closed_field, arms[index], config,
+                             config.sdp.control, streams[index]);
+    result.attempts = out.attempts;
+    result.arms_launched = out.launched ? 1 : 0;
+    result.max_identity_residual = out.program.max_identity_residual;
+    result.min_gram_eigenvalue = out.program.min_gram_eigenvalue;
+    if (out.program.feasible) {
+      accept(index, out);
+      result.seconds = sw.seconds();
+      log_info("barrier: replayed arm ", result.winner_arm_desc, " in ",
+               result.seconds, "s");
+    } else {
+      result.seconds = sw.seconds();
+      result.failure_reason =
+          out.preempted ? "preempted (job cancelled or deadline)"
+                        : "replayed arm no longer yields a certificate: " +
+                              out.program.failure_reason;
+    }
+    return result;
+  }
+
+  // ---- Portfolio race: every arm runs speculatively under its own child
+  // JobControl; the first feasible arm wins and cancels the rest. Which
+  // arm wins is timing-dependent, but each arm's *numerics* are not, so
+  // replaying the recorded winner reproduces the result bitwise.
+  if (config.race.enabled) {
+    result.raced = true;
+    std::vector<std::unique_ptr<JobControl>> controls;
+    controls.reserve(arms.size());
+    for (std::size_t i = 0; i < arms.size(); ++i)
+      controls.push_back(std::make_unique<JobControl>(config.sdp.control));
+    std::vector<ArmOutcome> outcomes(arms.size());
+    std::atomic<int> winner{-1};
+    // parallel_for lets the calling thread claim chunks too, so racing
+    // composes with outer parallelism (synthesize_many fan-out) without
+    // deadlock even when every pool worker is busy.
+    parallel_for(arms.size(), 1, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        if (winner.load(std::memory_order_acquire) >= 0) {
+          outcomes[i].preempted = true;
+          continue;
+        }
+        outcomes[i] = run_arm(system, closed_field, arms[i], config,
+                              controls[i].get(), streams[i]);
+        if (!outcomes[i].program.feasible) continue;
+        int expected = -1;
+        if (winner.compare_exchange_strong(expected, static_cast<int>(i),
+                                           std::memory_order_acq_rel)) {
+          for (std::size_t j = 0; j < arms.size(); ++j)
+            if (j != i) controls[j]->cancel();
+        } else {
+          // Photo finish: another arm won first; this certificate is
+          // discarded so the result matches what a replay of the winner
+          // produces.
+          outcomes[i].preempted = true;
+          outcomes[i].program.feasible = false;
         }
       }
-
-      if (outcome.feasible &&
-          !quick_certificate_check(system, closed_field, outcome.barrier,
-                                   config, rng)) {
-        outcome.feasible = false;
+    });
+    const int win = winner.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < arms.size(); ++i) {
+      result.attempts += outcomes[i].attempts;
+      if (outcomes[i].launched) ++result.arms_launched;
+      if (outcomes[i].preempted) ++result.arms_cancelled;
+    }
+    result.seconds = sw.seconds();
+    if (metrics_enabled()) {
+      static Counter& launched =
+          MetricsRegistry::instance().counter("race.arms_launched");
+      static Counter& cancelled =
+          MetricsRegistry::instance().counter("race.arms_cancelled");
+      static Histogram& latency =
+          MetricsRegistry::instance().histogram("race.winner_latency_ms");
+      launched.add(result.arms_launched);
+      cancelled.add(result.arms_cancelled);
+      if (win >= 0)
+        latency.observe(static_cast<std::uint64_t>(result.seconds * 1e3));
+    }
+    if (win >= 0) {
+      accept(static_cast<std::size_t>(win),
+             outcomes[static_cast<std::size_t>(win)]);
+      log_info("barrier: race won by arm ", result.winner_arm_desc, " (",
+               result.arms_launched, " launched, ", result.arms_cancelled,
+               " cancelled), ", result.seconds, "s");
+    } else if (stop_requested(config.sdp.control)) {
+      result.failure_reason = "preempted (job cancelled or deadline)";
+    } else {
+      // Every arm completed naturally; surface the last arm's diagnostics
+      // (deterministic: independent of scheduling).
+      if (!outcomes.empty()) {
+        result.max_identity_residual =
+            outcomes.back().program.max_identity_residual;
+        result.min_gram_eigenvalue =
+            outcomes.back().program.min_gram_eigenvalue;
+        result.failure_reason = outcomes.back().program.failure_reason;
+      }
+      if (result.failure_reason.empty())
         result.failure_reason =
-            "certificate failed the sampled Theorem-1 gate";
-      }
-      if (outcome.feasible) {
-        result.success = true;
-        // Map the certificate back to the original coordinates:
-        // B(x) = B_y(S^{-1} x).
-        result.barrier = outcome.barrier.scale_vars(s_inv);
-        result.lambda = outcome.lambda.scale_vars(s_inv);
-        result.degree = d_b;
-        result.strategy_used = config.lambda_strategy;
-        result.seconds = sw.seconds();
-        result.failure_reason.clear();
-        log_info("barrier: found certificate of degree ", d_b, " after ",
-                 result.attempts, " attempt(s), ", result.seconds, "s");
-        return result;
-      }
+            "no feasible certificate in the degree schedule";
+    }
+    return result;
+  }
+
+  // ---- Serial ladder: walk the arms in order. Identical schedule to the
+  // classic nested degree/attempt loops, but each arm draws from its own
+  // stream so its numerics match what the racer (and replay) would produce
+  // for the same flat index.
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    // Job-level preemption: the SDP under a stopped control returns
+    // immediately, so without this gate the ladder would still burn one
+    // program *construction* per remaining rung.
+    if (stop_requested(config.sdp.control)) {
+      result.seconds = sw.seconds();
+      result.failure_reason = "preempted (job cancelled or deadline)";
+      return result;
+    }
+    ArmOutcome out = run_arm(system, closed_field, arms[i], config,
+                             config.sdp.control, streams[i]);
+    result.attempts += out.attempts;
+    if (out.launched) ++result.arms_launched;
+    result.max_identity_residual = out.program.max_identity_residual;
+    result.min_gram_eigenvalue = out.program.min_gram_eigenvalue;
+    result.failure_reason = out.program.failure_reason;
+    if (out.program.feasible) {
+      accept(i, out);
+      result.seconds = sw.seconds();
+      log_info("barrier: found certificate of degree ", result.degree,
+               " after ", result.attempts, " attempt(s), ", result.seconds,
+               "s");
+      return result;
     }
   }
   result.seconds = sw.seconds();
@@ -409,6 +634,13 @@ BarrierResult synthesize_barrier(const Ccds& system,
 }
 
 
+void hash_append(Fnv1a& h, const BarrierRaceConfig& c) {
+  hash_append(h, c.enabled ? 1 : 0);
+  hash_append(h, static_cast<std::uint64_t>(c.strategies.size()));
+  for (LambdaStrategy s : c.strategies) hash_append(h, static_cast<int>(s));
+  hash_append(h, c.replay_arm);
+}
+
 void hash_append(Fnv1a& h, const BarrierConfig& c) {
   hash_append(h, c.degree_schedule);
   hash_append(h, c.rho);
@@ -421,6 +653,7 @@ void hash_append(Fnv1a& h, const BarrierConfig& c) {
   hash_append(h, c.identity_tol);
   hash_append(h, c.gram_tol);
   hash_append(h, static_cast<std::uint64_t>(c.max_sdp_constraints));
+  hash_append(h, c.race);
 }
 
 }  // namespace scs

@@ -35,6 +35,30 @@ enum class LambdaStrategy {
 
 std::string to_string(LambdaStrategy s);
 
+/// Portfolio racing over the (lambda-strategy x degree-rung x attempt) arm
+/// grid. When enabled, synthesize_barrier_closed runs every arm
+/// speculatively on the work-stealing pool instead of walking the ladder
+/// serially; the first arm whose certificate passes the sampled Theorem-1
+/// gate wins and every other arm is cancelled through its child JobControl
+/// scope. Each arm draws from its own Rng stream (forked by flat arm index
+/// from BarrierConfig::seed), so an arm's numerics never depend on the
+/// schedule -- only *which* arm wins is timing-dependent. Record the
+/// reported winner_arm and replay it to reproduce a raced result bitwise.
+struct BarrierRaceConfig {
+  bool enabled = false;
+  /// Strategies racing side by side; empty = just
+  /// BarrierConfig::lambda_strategy. Ignored when racing is off (the
+  /// serial ladder also honors a multi-strategy list, which is what the
+  /// serial-vs-raced benchmark compares against).
+  std::vector<LambdaStrategy> strategies;
+  /// Deterministic replay: >= 0 runs only the arm with this flat index
+  /// (the winner_arm of a previous raced run) and is bitwise-identical to
+  /// the raced result it reproduces. -1 = race normally.
+  int replay_arm = -1;
+};
+
+void hash_append(Fnv1a& h, const BarrierRaceConfig& c);
+
 struct BarrierConfig {
   std::vector<int> degree_schedule = {2, 4};  // d_B values to attempt
   double rho = 1e-3;        // strict positivity margin in (2)
@@ -50,6 +74,7 @@ struct BarrierConfig {
   /// many equality constraints. The interior-point Schur solve is O(m^3)
   /// per iteration, so m ~ 3000 is the practical single-core ceiling.
   std::size_t max_sdp_constraints = 3000;
+  BarrierRaceConfig race;
 };
 
 void hash_append(Fnv1a& h, const BarrierConfig& c);
@@ -65,6 +90,23 @@ struct BarrierResult {
   std::string failure_reason;
   double max_identity_residual = 0.0;
   double min_gram_eigenvalue = 0.0;
+  /// How the accepted certificate's final solve was produced: "lmi",
+  /// "bmi-lambda" (alternating lambda-step), "bmi-b" (alternating B-step);
+  /// "" when no certificate was found. The reported diagnostics above
+  /// always belong to this accepted solve.
+  std::string accepted_via;
+  /// True when this result came from a portfolio race (or its replay).
+  bool raced = false;
+  /// Flat index of the arm that produced the certificate, valid as
+  /// BarrierRaceConfig::replay_arm; -1 when no arm succeeded. Also filled
+  /// by the serial ladder so serial and replayed runs are comparable.
+  int winner_arm = -1;
+  /// Human-readable winner identity, "constant/d=4/a=1".
+  std::string winner_arm_desc;
+  /// Race telemetry (zero when racing was off): arms that began solving,
+  /// and arms cancelled or skipped once a winner emerged.
+  int arms_launched = 0;
+  int arms_cancelled = 0;
 };
 
 /// Synthesize a barrier certificate for the closed-loop system

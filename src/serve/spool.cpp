@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "obs/json_writer.hpp"
+#include "serve/request.hpp"
 #include "util/hash.hpp"
 #include "util/log.hpp"
 
@@ -140,6 +141,24 @@ int SpoolRunner::poll_once() {
       write_error_result(stem_of(file), "parse error: " + error);
       fs::remove(file, ec);
       continue;
+    }
+    // Id-collision guard: a client reusing an explicit id while the first
+    // request under that id is still in flight would otherwise overwrite
+    // the pending_ entry and orphan the original (its result would never
+    // be swept out). Same key is fine -- the submit below dedupes / warm
+    // hits onto the in-flight job; a *different* key is a client error and
+    // is rejected before it touches the server. (Auto-derived ids hash the
+    // key, so a collision there is by construction the same job.)
+    if (!request.id.empty()) {
+      const auto it = pending_.find(request.id);
+      if (it != pending_.end() && it->second.key != serve_key(request)) {
+        write_error_result(request.id,
+                           "id '" + request.id +
+                               "' is already in flight with a different "
+                               "configuration");
+        fs::remove(file, ec);
+        continue;
+      }
     }
     const SynthesisServer::Submit submit = server_.submit(request);
     if (submit.kind == SynthesisServer::Submit::Kind::kRejected) {

@@ -16,6 +16,11 @@
 //      produce bitwise-identical results up to the preemption point.
 //   3. Thread-safe by construction: all state is atomics; any thread may
 //      cancel while any number of workers poll.
+//   4. Child scopes nest: a control constructed with a parent observes the
+//      parent's cancel/deadline through every poll, while cancelling the
+//      child never touches the parent or its other children. The portfolio
+//      racer hands each speculative arm its own child scope so losing arms
+//      can be cancelled without stopping the job they belong to.
 #pragma once
 
 #include <atomic>
@@ -30,29 +35,39 @@ class JobControl {
   /// explicit cancel is a stronger signal than a timer).
   enum class StopReason { kNone, kCancelled, kDeadline };
 
-  /// Request cooperative cancellation. Idempotent; any thread.
+  JobControl() = default;
+  /// A child scope of `parent` (borrowed; may be null = no parent, must
+  /// outlive this control otherwise). The parent's cancel and deadline
+  /// propagate to every descendant; this control's own cancel/deadline
+  /// stay local to it.
+  explicit JobControl(const JobControl* parent) : parent_(parent) {}
+
+  /// Request cooperative cancellation of this scope (and, transitively,
+  /// any children created from it). Idempotent; any thread.
   void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
 
   bool cancelled() const {
-    return cancelled_.load(std::memory_order_relaxed);
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    return parent_ != nullptr && parent_->cancelled();
   }
 
   /// Arm (or re-arm) a wall-clock deadline `seconds` from now. Non-positive
   /// values expire immediately.
   void set_deadline_after(double seconds);
 
-  /// Disarm the deadline (an armed one stays expired once reached only
-  /// while armed).
+  /// Disarm this scope's own deadline (a parent's deadline still applies;
+  /// an armed one stays expired once reached only while armed).
   void clear_deadline() { deadline_ns_.store(0, std::memory_order_relaxed); }
 
   bool has_deadline() const {
-    return deadline_ns_.load(std::memory_order_relaxed) != 0;
+    if (deadline_ns_.load(std::memory_order_relaxed) != 0) return true;
+    return parent_ != nullptr && parent_->has_deadline();
   }
 
   bool deadline_expired() const;
 
-  /// Seconds until the armed deadline (negative once expired); +infinity
-  /// when no deadline is armed.
+  /// Seconds until the nearest armed deadline in this scope chain
+  /// (negative once expired); +infinity when none is armed.
   double seconds_remaining() const;
 
   StopReason stop_reason() const {
@@ -70,6 +85,9 @@ class JobControl {
   std::atomic<bool> cancelled_{false};
   /// steady_clock time_since_epoch in nanoseconds; 0 = no deadline armed.
   std::atomic<std::int64_t> deadline_ns_{0};
+  /// Enclosing scope; never written after construction, so polls from any
+  /// thread are race-free.
+  const JobControl* parent_ = nullptr;
 };
 
 /// "CANCELLED" / "DEADLINE" / "" -- the ledger-verdict spelling of a stop

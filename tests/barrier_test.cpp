@@ -104,6 +104,65 @@ TEST(Barrier, LambdaStrategiesReported) {
   EXPECT_EQ(to_string(LambdaStrategy::kAlternating), "alternating-BMI");
 }
 
+/// Weakly damped toy2 oscillator: xdot = (x2, -x1 - damping x2 + u). The
+/// degree-2 joint LMI struggles on low damping, which is what pushes the
+/// alternating heuristic into its lambda-/B-step recovery loop.
+Ccds toy2_weak(double damping) {
+  Ccds sys;
+  sys.name = "toy2w";
+  sys.num_states = 2;
+  sys.num_controls = 1;
+  const auto x1 = Polynomial::variable(3, 0);
+  const auto x2 = Polynomial::variable(3, 1);
+  const auto u = Polynomial::variable(3, 2);
+  sys.open_field = {x2, x1 * -1.0 - x2 * damping + u};
+  const Box box = Box::centered(2, 2.0);
+  sys.init_set = SemialgebraicSet::ball(Vec{0.0, 0.0}, 0.5);
+  sys.domain = SemialgebraicSet::from_box(box);
+  sys.unsafe_set = SemialgebraicSet::outside_ball(Vec{0.0, 0.0}, 1.5, box);
+  sys.control_bound = 1.0;
+  return sys;
+}
+
+// Regression guard for the alternating-BMI diagnostics bug: when a BMI
+// step is accepted, max_identity_residual / min_gram_eigenvalue must
+// describe the *accepted* solve, not linger from the earlier failed one.
+// An accepted solve is by definition within the acceptance tolerances, so
+// out-of-tolerance diagnostics on success betray stale values.
+
+TEST(BarrierBmi, BStepAcceptanceReportsAcceptedDiagnostics) {
+  // (toy2 damping 1.0, seed 1, degree {2}): the initial LMI fails, the
+  // first B-step accepts -- accepted_via pins the path.
+  const Ccds sys = toy2_weak(1.0);
+  BarrierConfig cfg;
+  cfg.lambda_strategy = LambdaStrategy::kAlternating;
+  cfg.degree_schedule = {2};
+  cfg.lambda_attempts = 1;
+  cfg.seed = 1;
+  const BarrierResult result = synthesize_barrier(sys, {Polynomial(2)}, cfg);
+  ASSERT_TRUE(result.success) << result.failure_reason;
+  ASSERT_EQ(result.accepted_via, "bmi-b");
+  EXPECT_LE(result.max_identity_residual, cfg.identity_tol);
+  EXPECT_GE(result.min_gram_eigenvalue, -cfg.gram_tol);
+}
+
+TEST(BarrierBmi, LambdaStepAcceptanceReportsAcceptedDiagnostics) {
+  // (toy2 damping 0.4, seed 4, degree {4}): LMI fails, round-1 B-step
+  // fails, the round-2 lambda-step accepts. Before the fix this path kept
+  // the failed solve's diagnostics in the result.
+  const Ccds sys = toy2_weak(0.4);
+  BarrierConfig cfg;
+  cfg.lambda_strategy = LambdaStrategy::kAlternating;
+  cfg.degree_schedule = {4};
+  cfg.lambda_attempts = 2;
+  cfg.seed = 4;
+  const BarrierResult result = synthesize_barrier(sys, {Polynomial(2)}, cfg);
+  ASSERT_TRUE(result.success) << result.failure_reason;
+  ASSERT_EQ(result.accepted_via, "bmi-lambda");
+  EXPECT_LE(result.max_identity_residual, cfg.identity_tol);
+  EXPECT_GE(result.min_gram_eigenvalue, -cfg.gram_tol);
+}
+
 class BarrierLambdaSweep
     : public ::testing::TestWithParam<LambdaStrategy> {};
 

@@ -382,5 +382,68 @@ TEST(Spool, IngestsRequestsAndWritesResults) {
   EXPECT_TRUE(fs::exists(layout.inbox() + "/later.json"));
 }
 
+TEST(Spool, DuplicateIdWithDifferentConfigIsRejectedNotOrphaned) {
+  // Regression: a client reusing an explicit id while the first request
+  // under that id is still in flight used to overwrite the pending entry
+  // (pending_[id] = p), orphaning the original -- its result was swept
+  // under the duplicate's key and the original job's output never
+  // surfaced. The duplicate must be rejected; the original must still
+  // complete and produce its result.
+  TempDir spool("scs_spool_dup_test");
+  SpoolLayout layout{spool.str()};
+  std::string error;
+  ASSERT_TRUE(spool_init(layout, &error)) << error;
+
+  ServerConfig config;
+  config.store.mode = StoreConfig::Mode::kOff;
+  SynthesisServer server(config);
+  SpoolRunner runner(server, layout);
+
+  JobRequest original = fast_request(500);
+  original.id = "shared";
+  ASSERT_TRUE(atomic_write_file(layout.inbox() + "/a_original.json",
+                                job_request_json(original)));
+  runner.poll_once();
+  EXPECT_EQ(runner.pending(), 1u);
+
+  // Same id, different seed => different serve key: a client error.
+  JobRequest duplicate = fast_request(501);
+  duplicate.id = "shared";
+  ASSERT_TRUE(atomic_write_file(layout.inbox() + "/b_duplicate.json",
+                                job_request_json(duplicate)));
+  runner.poll_once();
+
+  // The duplicate is bounced with a REJECTED result, and the original's
+  // pending entry survives under its own key.
+  EXPECT_EQ(runner.pending(), 1u);
+  EXPECT_FALSE(fs::exists(layout.inbox() + "/b_duplicate.json"));
+  {
+    std::stringstream text;
+    text << std::ifstream(layout.results() + "/shared.json").rdbuf();
+    EXPECT_NE(text.str().find("\"verdict\":\"REJECTED\""), std::string::npos)
+        << text.str();
+    EXPECT_NE(text.str().find("already in flight"), std::string::npos);
+  }
+
+  // The original still completes and its genuine result replaces the
+  // rejection note at the shared id.
+  ASSERT_NE(server.wait(serve_key(original)), nullptr);
+  runner.poll_once();
+  EXPECT_EQ(runner.pending(), 0u);
+  std::stringstream text;
+  text << std::ifstream(layout.results() + "/shared.json").rdbuf();
+  EXPECT_EQ(text.str().find("\"verdict\":\"REJECTED\""), std::string::npos);
+  EXPECT_NE(text.str().find("\"id\":\"shared\""), std::string::npos);
+
+  // Same id, same config: legitimate duplicate -- dedupes onto the (now
+  // finished) job as a warm hit instead of a rejection.
+  ASSERT_TRUE(atomic_write_file(layout.inbox() + "/c_same.json",
+                                job_request_json(original)));
+  runner.poll_once();
+  std::stringstream warm;
+  warm << std::ifstream(layout.results() + "/shared.json").rdbuf();
+  EXPECT_EQ(warm.str().find("REJECTED"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace scs
