@@ -3,16 +3,25 @@
 //   ./serve_cli --spool <dir> submit C1 [--seed <n>] [--fast]
 //               [--episodes <n>] [--priority <p>] [--deadline <s>]
 //               [--id <name>] [--wait [--timeout <s>]]
-//   ./serve_cli --spool <dir> status
+//   ./serve_cli --spool <dir> status [--json]
 //   ./serve_cli --spool <dir> result <id> [--wait [--timeout <s>]]
+//   ./serve_cli --spool <dir> cancel <id>
 //   ./serve_cli --spool <dir> drain
 //
 // submit drops one request file into <spool>/inbox/ (atomic write, so the
 // server never reads a half-written request). The request id defaults to
 // "<benchmark>-s<seed>"; the result lands at <spool>/results/<id>.json.
-// status prints <spool>/status.json. drain touches <spool>/ctl/drain --
-// the server finishes queued jobs, sweeps results, and exits.
+// When the server's bounded queue is full, submit says so -- the request
+// is buffered in the inbox (nothing is lost) and the server's suggested
+// retry-after is printed instead of a bare failure.
+// status renders <spool>/status.json (schema 2) human-readably: queue
+// occupancy, in-flight count, the counter set, and latency quantiles
+// (--json for the raw document). cancel drops a marker under
+// <spool>/ctl/cancel/ -- the server cooperatively stops the job, which
+// finishes with verdict CANCELLED. drain touches <spool>/ctl/drain -- the
+// server finishes queued jobs, sweeps results, and exits.
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -24,6 +33,7 @@
 
 #include <unistd.h>
 
+#include "obs/json_reader.hpp"
 #include "serve/request.hpp"
 #include "serve/spool.hpp"
 #include "util/stopwatch.hpp"
@@ -39,8 +49,9 @@ void print_usage(const char* argv0) {
       << "  submit <benchmark> [--seed <n>] [--fast] [--episodes <n>]\n"
       << "         [--priority <p>] [--deadline <s>] [--id <name>]\n"
       << "         [--wait [--timeout <s>]]\n"
-      << "  status\n"
+      << "  status [--json]\n"
       << "  result <id> [--wait [--timeout <s>]]\n"
+      << "  cancel <id>\n"
       << "  drain\n";
 }
 
@@ -51,6 +62,98 @@ bool read_file(const std::string& path, std::string* out) {
   ss << in.rdbuf();
   *out = ss.str();
   return true;
+}
+
+std::string fmt_latency(const JsonValue* lat, const char* name) {
+  const JsonValue* h = lat != nullptr ? lat->find(name) : nullptr;
+  if (h == nullptr) return "-";
+  const std::int64_t count = h->find("count") ? h->find("count")->int_or(0) : 0;
+  if (count == 0) return "(none observed)";
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "p50 %lld / p90 %lld / p99 %lld  (n=%lld)",
+                static_cast<long long>(h->find("p50")->int_or(0)),
+                static_cast<long long>(h->find("p90")->int_or(0)),
+                static_cast<long long>(h->find("p99")->int_or(0)),
+                static_cast<long long>(count));
+  return buf;
+}
+
+std::uint64_t counter_of(const JsonValue& doc, const char* name) {
+  const JsonValue* counters = doc.find("counters");
+  const JsonValue* v = counters != nullptr ? counters->find(name) : nullptr;
+  return v != nullptr ? static_cast<std::uint64_t>(v->int_or(0)) : 0;
+}
+
+/// Render status.json (schema 2) for humans. Unknown schemas fall back to
+/// the raw document rather than misreading fields.
+int print_status(const std::string& text, bool raw) {
+  if (raw) {
+    std::cout << text << "\n";
+    return 0;
+  }
+  JsonValue doc;
+  if (!json_try_parse(text, &doc) || !doc.is_object() ||
+      (doc.find("schema") ? doc.find("schema")->int_or(0) : 0) !=
+          kStatusSchemaVersion) {
+    std::cout << text << "\n";
+    return 0;
+  }
+  const auto u64 = [&doc](const char* key) -> std::uint64_t {
+    const JsonValue* v = doc.find(key);
+    return v != nullptr ? static_cast<std::uint64_t>(v->int_or(0)) : 0;
+  };
+  const std::uint64_t depth = u64("queue_depth");
+  const std::uint64_t cap = u64("queue_capacity");
+  const bool draining =
+      doc.find("draining") != nullptr && doc.find("draining")->bool_or(false);
+  std::cout << "instance  "
+            << (doc.find("instance") ? doc.find("instance")->string_or("?")
+                                     : "?")
+            << (draining ? "  [draining]" : "") << "\n";
+  std::cout << "queue     " << depth << "/" << cap << " across "
+            << u64("shards") << " shard(s), " << u64("in_flight")
+            << " in flight, " << u64("pending") << " pending sweep\n";
+  std::cout << "traffic   submitted " << counter_of(doc, "submitted")
+            << " | cold " << counter_of(doc, "cold_runs") << " | warm "
+            << counter_of(doc, "warm_hits") << " | dup "
+            << counter_of(doc, "duplicates") << " | rejected "
+            << counter_of(doc, "rejected") << " | cancelled "
+            << counter_of(doc, "cancelled") << " | overflow "
+            << counter_of(doc, "overflow") << "\n";
+  std::cout << "spool     ingested " << u64("ingested")
+            << ", results written " << u64("results_written") << "\n";
+  const JsonValue* lat = doc.find("latency");
+  std::cout << "latency   queue_wait_ms  " << fmt_latency(lat, "queue_wait_ms")
+            << "\n"
+            << "          run_ms         " << fmt_latency(lat, "run_ms")
+            << "\n"
+            << "          warm_hit_us    " << fmt_latency(lat, "warm_hit_us")
+            << "\n";
+  if (!draining && cap > 0 && depth >= cap) {
+    const double retry = doc.find("retry_after_seconds")
+                             ? doc.find("retry_after_seconds")->number_or(1.0)
+                             : 1.0;
+    std::cout << "backpressure: queue is FULL -- new submits stay buffered "
+                 "in the inbox; retry after ~"
+              << retry << "s\n";
+  }
+  const JsonValue* jobs = doc.find("jobs");
+  if (jobs != nullptr && jobs->is_array() && !jobs->items.empty()) {
+    std::cout << "jobs\n";
+    for (const JsonValue& j : jobs->items) {
+      std::cout << "  " << (j.find("id") ? j.find("id")->string_or("?") : "?")
+                << "  " << (j.find("state") ? j.find("state")->string_or("?")
+                                            : "?")
+                << "  "
+                << (j.find("benchmark") ? j.find("benchmark")->string_or("?")
+                                        : "?");
+      const std::string verdict =
+          j.find("verdict") ? j.find("verdict")->string_or("") : "";
+      if (!verdict.empty()) std::cout << "  " << verdict;
+      std::cout << "\n";
+    }
+  }
+  return 0;
 }
 
 int print_result_file(const SpoolLayout& layout, const std::string& id,
@@ -108,7 +211,27 @@ int main(int argc, char** argv) {
                 << " (is the server running?)\n";
       return 3;
     }
-    std::cout << text << "\n";
+    bool raw = false;
+    for (const std::string& r : rest)
+      if (r == "--json") raw = true;
+    return print_status(text, raw);
+  }
+
+  if (command == "cancel") {
+    std::string id;
+    for (const std::string& r : rest)
+      if (id.empty() && r[0] != '-') id = r;
+    if (id.empty()) {
+      print_usage(argv[0]);
+      return 2;
+    }
+    const std::string marker = layout.cancel_dir() + "/" + id;
+    if (!atomic_write_file(marker, "cancel\n")) {
+      std::cerr << "cannot write " << marker
+                << " (is the spool initialized by a current server?)\n";
+      return 1;
+    }
+    std::cout << "cancel requested for " << id << " via " << marker << "\n";
     return 0;
   }
 
@@ -197,6 +320,31 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::cout << "submitted " << request.id << " -> " << file << "\n";
+  // Surface backpressure instead of failing silently later: when the
+  // server's bounded queue is at capacity the request stays buffered in
+  // the inbox (nothing is lost) and the server's retry-after applies.
+  {
+    std::string status_text;
+    JsonValue doc;
+    if (read_file(layout.status_file(), &status_text) &&
+        json_try_parse(status_text, &doc) && doc.is_object()) {
+      const std::int64_t depth =
+          doc.find("queue_depth") ? doc.find("queue_depth")->int_or(0) : 0;
+      const std::int64_t cap = doc.find("queue_capacity")
+                                   ? doc.find("queue_capacity")->int_or(0)
+                                   : 0;
+      if (cap > 0 && depth >= cap) {
+        const double retry =
+            doc.find("retry_after_seconds")
+                ? doc.find("retry_after_seconds")->number_or(1.0)
+                : 1.0;
+        std::cout << "note: server queue is full (" << depth << "/" << cap
+                  << "); the request waits in the inbox overflow buffer -- "
+                     "expect an extra ~"
+                  << retry << "s before it is picked up\n";
+      }
+    }
+  }
   if (!wait) return 0;
   return print_result_file(layout, request.id, true, timeout_seconds);
 }

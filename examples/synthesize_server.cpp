@@ -2,7 +2,7 @@
 // requests, dedupe them through the stage-cache key, run cold jobs on a
 // bounded sharded priority queue, and answer repeats from memory.
 //
-//   ./synthesize_server --spool /tmp/scs-spool --workers 2 \
+//   ./synthesize_server --spool /tmp/scs-spool --workers 2
 //       --cache-dir /tmp/scs-cache --ledger runs.jsonl
 //
 // Clients drop request files into <spool>/inbox/ (see serve_cli);
@@ -27,6 +27,22 @@
 //                     used by tests and the CI smoke)
 //   --idle-exit <s>   exit after s seconds with an empty inbox, no pending
 //                     jobs, and nothing queued (0 = never; tests/CI)
+//   --trace <file>    per-request Chrome trace: every span/instant of a
+//                     request's lifecycle (spool ingest, queue wait, solve
+//                     incl. race arms, cancellation, result write) carries
+//                     its id as args.rid; written at drain
+//   --instance <name> label stamped into status.json / the ledger daemon
+//                     summary (default: the spool directory name)
+//   --no-metrics      disable the metrics registry (on by default here:
+//                     the daemon is the thing the exposition files
+//                     observe; status.json latency quantiles and
+//                     metrics.txt need it)
+//
+// Live exposition: every poll refreshes <spool>/status.json (schema 2 --
+// queue depth/capacity, in-flight, counters, latency quantiles) and
+// <spool>/metrics.txt (Prometheus text). At drain the daemon appends a
+// "serve_daemon" summary record to the ledger -- the per-instance input
+// for `report_cli fleet`.
 #include <csignal>
 #include <cstdlib>
 #include <cstring>
@@ -34,6 +50,8 @@
 #include <string>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/server.hpp"
 #include "serve/spool.hpp"
 #include "util/stopwatch.hpp"
@@ -48,7 +66,8 @@ void print_usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " --spool <dir> [--workers <n>] [--queue-cap <n>]\n"
             << "       [--cache-dir <dir> | --no-cache] [--ledger <file>]\n"
-            << "       [--poll-ms <n>] [--max-jobs <n>] [--idle-exit <s>]\n";
+            << "       [--poll-ms <n>] [--max-jobs <n>] [--idle-exit <s>]\n"
+            << "       [--trace <file>] [--instance <name>] [--no-metrics]\n";
 }
 
 }  // namespace
@@ -60,6 +79,9 @@ int main(int argc, char** argv) {
   int poll_ms = 200;
   std::uint64_t max_jobs = 0;
   double idle_exit_seconds = 0.0;
+  std::string trace_path;
+  std::string instance;
+  bool metrics_on = true;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -90,6 +112,12 @@ int main(int argc, char** argv) {
       max_jobs = std::strtoull(next("a count"), nullptr, 10);
     } else if (arg == "--idle-exit") {
       idle_exit_seconds = std::atof(next("a duration"));
+    } else if (arg == "--trace") {
+      trace_path = next("a file");
+    } else if (arg == "--instance") {
+      instance = next("a name");
+    } else if (arg == "--no-metrics") {
+      metrics_on = false;
     } else {
       print_usage(argv[0]);
       return 2;
@@ -111,8 +139,14 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, handle_signal);
   std::signal(SIGINT, handle_signal);
 
+  // The daemon is observed through status.json/metrics.txt, so metrics are
+  // on unless explicitly refused; tracing stays opt-in (it buffers events).
+  if (metrics_on) set_metrics_enabled(true);
+  if (!trace_path.empty()) trace_start(trace_path);
+
   SynthesisServer server(config);
   SpoolRunner runner(server, layout);
+  if (!instance.empty()) runner.set_instance(instance);
   std::cout << "synthesize_server: watching " << layout.inbox() << " ("
             << config.workers << " workers, queue capacity "
             << config.queue_capacity << ")\n";
@@ -139,9 +173,12 @@ int main(int argc, char** argv) {
             << (g_stop != 0 ? "signal" : "requested") << ")\n";
   server.drain();
   runner.poll_once();  // final sweep + status
+  runner.append_daemon_summary();
+  if (!trace_path.empty() && trace_write(trace_path))
+    std::cout << "synthesize_server: trace written to " << trace_path << "\n";
   std::cout << "synthesize_server: done -- " << server.submitted()
             << " submitted, " << server.cold_runs() << " cold, "
             << server.warm_hits() << " warm, " << server.rejected()
-            << " rejected\n";
+            << " rejected, " << server.cancelled() << " cancelled\n";
   return 0;
 }

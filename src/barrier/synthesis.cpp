@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "poly/basis.hpp"
 #include "sos/sos_program.hpp"
 #include "util/cancellation.hpp"
@@ -530,12 +531,21 @@ BarrierResult synthesize_barrier_closed(
           outcomes[i].preempted = true;
           continue;
         }
+        // One span per arm lifetime (correlated to the serve request via
+        // the ambient id): winners and mid-solve-cancelled losers are told
+        // apart by the race.winner / race.preempted instants inside.
+        TraceSpan arm_span(trace_enabled() ? "race.arm:" + arm_desc(arms[i])
+                                           : std::string());
         outcomes[i] = run_arm(system, closed_field, arms[i], config,
                               controls[i].get(), streams[i]);
-        if (!outcomes[i].program.feasible) continue;
+        if (!outcomes[i].program.feasible) {
+          if (outcomes[i].preempted) trace_instant("race.preempted");
+          continue;
+        }
         int expected = -1;
         if (winner.compare_exchange_strong(expected, static_cast<int>(i),
                                            std::memory_order_acq_rel)) {
+          trace_instant("race.winner");
           for (std::size_t j = 0; j < arms.size(); ++j)
             if (j != i) controls[j]->cancel();
         } else {
@@ -544,6 +554,7 @@ BarrierResult synthesize_barrier_closed(
           // produces.
           outcomes[i].preempted = true;
           outcomes[i].program.feasible = false;
+          trace_instant("race.preempted");
         }
       }
     });

@@ -33,6 +33,12 @@ struct JobContext {
   StageCache* cache = nullptr;
   /// Ledger "source" tag recorded with this run.
   std::string source = "synthesize";
+  /// Serve request id ("" outside the server). Installed as the trace
+  /// correlation id for the run's full span tree -- every span/instant the
+  /// run (and its pool fan-out) records carries it as the "rid" arg, so one
+  /// request's end-to-end timeline can be cut from a daemon trace. Pure
+  /// observation: never hashed, cached, or echoed into results.
+  std::string request_id;
 };
 
 /// One re-entrant unit of synthesis work. Immutable after construction;

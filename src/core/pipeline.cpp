@@ -369,6 +369,12 @@ SynthesisResult run_synthesis_job(const Benchmark& benchmark,
                                   const JobContext& ctx) {
   ObsRunScope obs_scope(config.obs);
   LogTagScope tag_scope(benchmark.name);
+  // Serve requests correlate the whole run's span tree (this thread and its
+  // pool fan-out) under the request id; guarded so the non-traced path
+  // stays at one relaxed load.
+  std::optional<TraceIdScope> id_scope;
+  if (!ctx.request_id.empty() && trace_enabled())
+    id_scope.emplace(ctx.request_id);
   TraceSpan run_span("synthesize:" + benchmark.name);
   Stopwatch total_sw;
   SynthesisResult result;

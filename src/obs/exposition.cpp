@@ -1,0 +1,75 @@
+#include "obs/exposition.hpp"
+
+#include <string>
+
+namespace scs {
+
+namespace {
+
+bool prom_ok(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+void append_metric_line(std::string& out, const std::string& name,
+                        const std::string& labels, std::uint64_t value) {
+  out += "scs_";
+  out += name;
+  out += labels;
+  out += ' ';
+  out += std::to_string(value);
+  out += '\n';
+}
+
+}  // namespace
+
+std::string prometheus_sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& c : out)
+    if (!prom_ok(c)) c = '_';
+  // Metric names must not start with a digit (the scs_ prefix already
+  // guarantees that here, but keep the component self-contained).
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+  return out;
+}
+
+std::string prometheus_text(const MetricsSnapshot& snap) {
+  std::string out;
+  for (const auto& c : snap.counters) {
+    const std::string name = prometheus_sanitize(c.name);
+    out += "# TYPE scs_" + name + " counter\n";
+    append_metric_line(out, name, "", c.value);
+  }
+  for (const auto& g : snap.gauges) {
+    const std::string name = prometheus_sanitize(g.name);
+    out += "# TYPE scs_" + name + " gauge\n";
+    out += "scs_" + name + ' ' + std::to_string(g.value) + '\n';
+    out += "# TYPE scs_" + name + "_max gauge\n";
+    out += "scs_" + name + "_max " + std::to_string(g.max) + '\n';
+  }
+  for (const auto& h : snap.histograms) {
+    const std::string name = prometheus_sanitize(h.name);
+    out += "# TYPE scs_" + name + " histogram\n";
+    std::uint64_t cum = 0;
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      cum += h.buckets[b];
+      const std::string le =
+          b == Histogram::kBuckets - 1
+              ? std::string("+Inf")
+              : std::to_string(Histogram::bucket_bound(b));
+      append_metric_line(out, name + "_bucket", "{le=\"" + le + "\"}", cum);
+    }
+    append_metric_line(out, name + "_sum", "", h.sum);
+    append_metric_line(out, name + "_count", "", h.count);
+    if (h.count > 0) {
+      // Upper-bound quantile estimates; omitted entirely when empty so a
+      // never-observed latency cannot scrape as 0.
+      append_metric_line(out, name + "_quantile", "{q=\"0.5\"}", h.p50);
+      append_metric_line(out, name + "_quantile", "{q=\"0.9\"}", h.p90);
+      append_metric_line(out, name + "_quantile", "{q=\"0.99\"}", h.p99);
+    }
+  }
+  return out;
+}
+
+}  // namespace scs

@@ -1,0 +1,36 @@
+// Prometheus-style text exposition of a MetricsSnapshot.
+//
+// The daemon's periodic exporter (serve/spool) renders the registry into
+// <spool>/metrics.txt in the Prometheus text format (version 0.0.4) so any
+// standard scraper -- or a human with `cat` -- can watch a live instance
+// without parsing JSON. Rendering is pull-only and file-based like the rest
+// of the spool protocol: no sockets, no background HTTP server.
+//
+// Conventions:
+//   - every name is prefixed "scs_" and sanitized to [a-zA-Z0-9_:]
+//     (dots in registry names become underscores: serve.warm_hits ->
+//     scs_serve_warm_hits);
+//   - gauges additionally expose their high-water mark as <name>_max;
+//   - histograms expose cumulative _bucket{le="..."} series (upper bounds
+//     are the registry's power-of-two bounds, last is le="+Inf") plus _sum
+//     and _count, matching Prometheus histogram semantics;
+//   - quantiles are NOT exposed for empty histograms (a never-observed
+//     latency is unknown, not 0); non-empty histograms expose
+//     <name>_quantile{q="0.5|0.9|0.99"} upper-bound estimates.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace scs {
+
+/// Sanitize a registry instrument name into a Prometheus metric name
+/// component: [a-zA-Z0-9_:] pass through, everything else becomes '_'.
+/// (No "scs_" prefix; prometheus_text adds it.)
+std::string prometheus_sanitize(const std::string& name);
+
+/// Render the whole snapshot as Prometheus text exposition format.
+std::string prometheus_text(const MetricsSnapshot& snap);
+
+}  // namespace scs

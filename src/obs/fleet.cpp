@@ -1,0 +1,398 @@
+#include "obs/fleet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <string_view>
+#include <system_error>
+
+#include "obs/json_reader.hpp"
+#include "obs/json_writer.hpp"
+#include "obs/ledger.hpp"
+
+namespace scs {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Filename-level wildcard match: '*' matches any run (not crossing '/',
+/// which never appears in a filename component), '?' any one character.
+bool wildcard_match(std::string_view pattern, std::string_view name) {
+  std::size_t p = 0, n = 0;
+  std::size_t star = std::string_view::npos, star_n = 0;
+  while (n < name.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == name[n])) {
+      ++p, ++n;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      star_n = n;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      n = ++star_n;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+bool has_wildcard(std::string_view s) {
+  return s.find('*') != std::string_view::npos ||
+         s.find('?') != std::string_view::npos;
+}
+
+/// Exact quantile (rank ceil(q*n)) over an unsorted sample vector; sorts a
+/// copy. -1 when empty.
+double exact_quantile(std::vector<double> v, double q) {
+  if (v.empty()) return -1.0;
+  std::sort(v.begin(), v.end());
+  double rank = std::ceil(q * static_cast<double>(v.size()));
+  if (rank < 1.0) rank = 1.0;
+  std::size_t idx = static_cast<std::size_t>(rank) - 1;
+  if (idx >= v.size()) idx = v.size() - 1;
+  return v[idx];
+}
+
+std::uint64_t u64_field(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || !v->is_number() || v->number < 0) return 0;
+  return static_cast<std::uint64_t>(v->number);
+}
+
+/// Quantile field that may be null/absent (never observed): -1 then.
+double quantile_field(const JsonValue* obj, const char* key) {
+  if (obj == nullptr) return -1.0;
+  const JsonValue* v = obj->find(key);
+  if (v == nullptr || !v->is_number()) return -1.0;
+  return v->number;
+}
+
+void ingest_daemon_summary(const LedgerRecord& rec, FleetInstanceStats* st) {
+  JsonValue doc;
+  if (!json_try_parse(rec.values_json, &doc) || !doc.is_object()) return;
+  ++st->summaries;
+  const JsonValue* inst = doc.find("instance");
+  if (inst != nullptr && inst->is_string() && st->instance.empty())
+    st->instance = inst->string;
+  st->submitted += u64_field(doc, "submitted");
+  st->cold_runs += u64_field(doc, "cold_runs");
+  st->warm_hits += u64_field(doc, "warm_hits");
+  st->duplicates += u64_field(doc, "duplicates");
+  st->rejected += u64_field(doc, "rejected");
+  st->cancelled += u64_field(doc, "cancelled");
+  st->overflow += u64_field(doc, "overflow");
+  const std::uint64_t ingested = u64_field(doc, "ingested");
+  const std::uint64_t written = u64_field(doc, "results_written");
+  st->ingested += ingested;
+  st->results_written += written;
+  if (ingested > written) st->lost_requests += ingested - written;
+  // Latest summary's quantiles win (they describe the most recent daemon
+  // lifetime); keep the previous ones when this lifetime saw no traffic.
+  const JsonValue* warm = doc.find("warm_hit_us");
+  if (quantile_field(warm, "p99") >= 0) {
+    st->warm_hit_us_p50 = quantile_field(warm, "p50");
+    st->warm_hit_us_p90 = quantile_field(warm, "p90");
+    st->warm_hit_us_p99 = quantile_field(warm, "p99");
+  }
+  const JsonValue* wait = doc.find("queue_wait_ms");
+  if (quantile_field(wait, "p99") >= 0)
+    st->queue_wait_ms_p99 = quantile_field(wait, "p99");
+}
+
+FleetInstanceStats read_instance(const std::string& path,
+                                 std::vector<std::string>* errors) {
+  FleetInstanceStats st;
+  st.ledger_path = path;
+  const LedgerReadResult read = ledger_read(path);
+  st.skipped_lines = read.skipped;
+  if (read.records.empty() && !read.errors.empty())
+    errors->push_back(path + ": " + read.errors.front());
+  for (const LedgerRecord& rec : read.records) {
+    if (rec.kind == "bench") {
+      if (rec.source == "serve_daemon") ingest_daemon_summary(rec, &st);
+      continue;
+    }
+    if (rec.source == "serve") {
+      ++st.cold_records;
+      st.cold_seconds.push_back(rec.total_seconds);
+      if (!rec.config_key.empty()) {
+        st.served_keys.insert(rec.config_key);
+        st.cold_keys.insert(rec.config_key);
+      }
+    } else if (rec.source == "serve-hit") {
+      ++st.warm_records;
+      if (!rec.config_key.empty()) st.served_keys.insert(rec.config_key);
+    } else if (rec.source != "serve-rejected") {
+      continue;  // non-serve traffic (synthesize_cli runs etc.)
+    }
+    if (!rec.verdict.empty()) ++st.verdicts[rec.verdict];
+  }
+  if (st.instance.empty())
+    st.instance = fs::path(path).stem().string();
+  return st;
+}
+
+std::string fmt_quantity(double v, const char* unit) {
+  if (v < 0) return "-";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3g%s", v, unit);
+  return buf;
+}
+
+std::string fmt_rate(double v) {
+  if (v < 0) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f%%", v * 100.0);
+  return buf;
+}
+
+void json_quantile(JsonWriter& w, const char* key, double v) {
+  if (v < 0)
+    w.key(key).null();
+  else
+    w.key(key).value(v);
+}
+
+void add_sample(MetricSamples* out, const std::string& key, double v) {
+  out->add(key, JsonValue::make_number(v));
+}
+
+void add_quantile_sample(MetricSamples* out, const std::string& key,
+                         double v) {
+  if (v >= 0) add_sample(out, key, v);
+}
+
+}  // namespace
+
+std::vector<std::string> fleet_expand_ledger_args(
+    const std::vector<std::string>& args) {
+  std::vector<std::string> out;
+  for (const std::string& arg : args) {
+    if (!has_wildcard(arg)) {
+      out.push_back(arg);
+      continue;
+    }
+    const fs::path p(arg);
+    const fs::path dir = p.parent_path().empty() ? "." : p.parent_path();
+    const std::string pattern = p.filename().string();
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      if (!entry.is_regular_file(ec)) continue;
+      const std::string name = entry.path().filename().string();
+      if (wildcard_match(pattern, name))
+        out.push_back((p.parent_path() / name).string());
+    }
+    // A glob matching nothing falls through silently here; the caller sees
+    // it as a shrunken instance count, which the fleet gate's instance
+    // floor turns into a loud failure.
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+FleetReport fleet_aggregate(const std::vector<std::string>& paths) {
+  FleetReport rep;
+  std::vector<double> all_cold_seconds;
+  std::map<std::string, int> cold_instances_per_key;
+  std::set<std::string> all_keys;
+  for (const std::string& path : paths) {
+    FleetInstanceStats st = read_instance(path, &rep.errors);
+    rep.submitted += st.submitted;
+    rep.cold_runs += st.cold_runs;
+    rep.warm_hits += st.warm_hits;
+    rep.duplicates += st.duplicates;
+    rep.rejected += st.rejected;
+    rep.cancelled += st.cancelled;
+    rep.overflow += st.overflow;
+    rep.lost_requests += st.lost_requests;
+    rep.daemon_summaries += st.summaries;
+    rep.skipped_lines += st.skipped_lines;
+    for (const auto& [verdict, n] : st.verdicts) rep.verdicts[verdict] += n;
+    all_cold_seconds.insert(all_cold_seconds.end(), st.cold_seconds.begin(),
+                            st.cold_seconds.end());
+    for (const std::string& key : st.cold_keys) ++cold_instances_per_key[key];
+    all_keys.insert(st.served_keys.begin(), st.served_keys.end());
+    rep.warm_hit_us_p50 = std::max(rep.warm_hit_us_p50, st.warm_hit_us_p50);
+    rep.warm_hit_us_p90 = std::max(rep.warm_hit_us_p90, st.warm_hit_us_p90);
+    rep.warm_hit_us_p99 = std::max(rep.warm_hit_us_p99, st.warm_hit_us_p99);
+    rep.instances.push_back(std::move(st));
+  }
+  rep.unique_configs = all_keys.size();
+  for (const auto& [key, n] : cold_instances_per_key)
+    if (n > 1) rep.redundant_cold_runs += static_cast<std::uint64_t>(n - 1);
+  if (rep.warm_hits + rep.cold_runs > 0)
+    rep.warm_hit_rate = static_cast<double>(rep.warm_hits) /
+                        static_cast<double>(rep.warm_hits + rep.cold_runs);
+  if (rep.submitted > 0)
+    rep.dedupe_efficiency =
+        static_cast<double>(rep.warm_hits + rep.duplicates) /
+        static_cast<double>(rep.submitted);
+  if (!all_cold_seconds.empty()) {
+    rep.cold_ms_p50 = exact_quantile(all_cold_seconds, 0.50) * 1e3;
+    rep.cold_ms_p90 = exact_quantile(all_cold_seconds, 0.90) * 1e3;
+    rep.cold_ms_p99 = exact_quantile(all_cold_seconds, 0.99) * 1e3;
+  }
+  return rep;
+}
+
+std::string fleet_markdown(const FleetReport& rep) {
+  std::string out;
+  out += "## Fleet dashboard (" + std::to_string(rep.instances.size()) +
+         " instance" + (rep.instances.size() == 1 ? "" : "s") + ")\n\n";
+  out += "| metric | value |\n|---|---|\n";
+  auto row = [&out](const std::string& k, const std::string& v) {
+    out += "| " + k + " | " + v + " |\n";
+  };
+  row("submitted", std::to_string(rep.submitted));
+  row("cold runs", std::to_string(rep.cold_runs));
+  row("warm hits", std::to_string(rep.warm_hits));
+  row("duplicates attached", std::to_string(rep.duplicates));
+  row("rejected", std::to_string(rep.rejected));
+  row("cancelled", std::to_string(rep.cancelled));
+  row("overflow submits", std::to_string(rep.overflow));
+  row("lost requests", std::to_string(rep.lost_requests));
+  row("warm-hit rate", fmt_rate(rep.warm_hit_rate));
+  row("dedupe efficiency", fmt_rate(rep.dedupe_efficiency));
+  row("unique configs", std::to_string(rep.unique_configs));
+  row("redundant cold runs (cross-instance)",
+      std::to_string(rep.redundant_cold_runs));
+  row("cold latency p50/p90/p99",
+      fmt_quantity(rep.cold_ms_p50, "ms") + " / " +
+          fmt_quantity(rep.cold_ms_p90, "ms") + " / " +
+          fmt_quantity(rep.cold_ms_p99, "ms"));
+  row("warm-hit latency p50/p90/p99 (worst instance)",
+      fmt_quantity(rep.warm_hit_us_p50, "us") + " / " +
+          fmt_quantity(rep.warm_hit_us_p90, "us") + " / " +
+          fmt_quantity(rep.warm_hit_us_p99, "us"));
+  row("daemon summaries", std::to_string(rep.daemon_summaries));
+  row("skipped ledger lines", std::to_string(rep.skipped_lines));
+
+  out += "\n### Verdict mix\n\n| verdict | count |\n|---|---|\n";
+  if (rep.verdicts.empty()) out += "| (none) | 0 |\n";
+  for (const auto& [verdict, n] : rep.verdicts)
+    out += "| " + verdict + " | " + std::to_string(n) + " |\n";
+
+  out +=
+      "\n### Instances\n\n"
+      "| instance | submitted | cold | warm | dup | rejected | cancelled | "
+      "lost | warm p99 | wait p99 | torn lines |\n"
+      "|---|---|---|---|---|---|---|---|---|---|---|\n";
+  for (const FleetInstanceStats& st : rep.instances) {
+    out += "| " + st.instance + " | " + std::to_string(st.submitted) + " | " +
+           std::to_string(st.cold_runs) + " | " +
+           std::to_string(st.warm_hits) + " | " +
+           std::to_string(st.duplicates) + " | " +
+           std::to_string(st.rejected) + " | " +
+           std::to_string(st.cancelled) + " | " +
+           std::to_string(st.lost_requests) + " | " +
+           fmt_quantity(st.warm_hit_us_p99, "us") + " | " +
+           fmt_quantity(st.queue_wait_ms_p99, "ms") + " | " +
+           std::to_string(st.skipped_lines) + " |\n";
+  }
+  if (!rep.errors.empty()) {
+    out += "\n### Read errors\n\n";
+    for (const std::string& e : rep.errors) out += "- " + e + "\n";
+  }
+  return out;
+}
+
+std::string fleet_json(const FleetReport& rep) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value(1);
+  w.key("kind").value("fleet");
+  w.key("instances").value(static_cast<std::uint64_t>(rep.instances.size()));
+  w.key("daemon_summaries").value(static_cast<std::int64_t>(rep.daemon_summaries));
+  w.key("submitted").value(rep.submitted);
+  w.key("cold_runs").value(rep.cold_runs);
+  w.key("warm_hits").value(rep.warm_hits);
+  w.key("duplicates").value(rep.duplicates);
+  w.key("rejected").value(rep.rejected);
+  w.key("cancelled").value(rep.cancelled);
+  w.key("overflow").value(rep.overflow);
+  w.key("lost_requests").value(rep.lost_requests);
+  w.key("unique_configs").value(rep.unique_configs);
+  w.key("redundant_cold_runs").value(rep.redundant_cold_runs);
+  json_quantile(w, "warm_hit_rate", rep.warm_hit_rate);
+  json_quantile(w, "dedupe_efficiency", rep.dedupe_efficiency);
+  json_quantile(w, "cold_ms_p50", rep.cold_ms_p50);
+  json_quantile(w, "cold_ms_p90", rep.cold_ms_p90);
+  json_quantile(w, "cold_ms_p99", rep.cold_ms_p99);
+  json_quantile(w, "warm_hit_us_p50", rep.warm_hit_us_p50);
+  json_quantile(w, "warm_hit_us_p90", rep.warm_hit_us_p90);
+  json_quantile(w, "warm_hit_us_p99", rep.warm_hit_us_p99);
+  w.key("skipped_lines").value(static_cast<std::int64_t>(rep.skipped_lines));
+  w.key("verdicts").begin_object();
+  for (const auto& [verdict, n] : rep.verdicts) w.key(verdict).value(n);
+  w.end_object();
+  w.key("per_instance").begin_array();
+  for (const FleetInstanceStats& st : rep.instances) {
+    w.begin_object();
+    w.key("instance").value(st.instance);
+    w.key("ledger").value(st.ledger_path);
+    w.key("summaries").value(static_cast<std::int64_t>(st.summaries));
+    w.key("submitted").value(st.submitted);
+    w.key("cold_runs").value(st.cold_runs);
+    w.key("warm_hits").value(st.warm_hits);
+    w.key("duplicates").value(st.duplicates);
+    w.key("rejected").value(st.rejected);
+    w.key("cancelled").value(st.cancelled);
+    w.key("overflow").value(st.overflow);
+    w.key("ingested").value(st.ingested);
+    w.key("results_written").value(st.results_written);
+    w.key("lost_requests").value(st.lost_requests);
+    w.key("cold_records").value(st.cold_records);
+    w.key("warm_records").value(st.warm_records);
+    json_quantile(w, "warm_hit_us_p50", st.warm_hit_us_p50);
+    json_quantile(w, "warm_hit_us_p90", st.warm_hit_us_p90);
+    json_quantile(w, "warm_hit_us_p99", st.warm_hit_us_p99);
+    json_quantile(w, "queue_wait_ms_p99", st.queue_wait_ms_p99);
+    w.key("skipped_lines").value(static_cast<std::int64_t>(st.skipped_lines));
+    w.end_object();
+  }
+  w.end_array();
+  if (!rep.errors.empty()) {
+    w.key("errors").begin_array();
+    for (const std::string& e : rep.errors) w.value(e);
+    w.end_array();
+  }
+  w.end_object();
+  return w.str();
+}
+
+void fleet_samples(const FleetReport& rep, MetricSamples* out) {
+  add_sample(out, "fleet.instances",
+             static_cast<double>(rep.instances.size()));
+  add_sample(out, "fleet.daemon_summaries",
+             static_cast<double>(rep.daemon_summaries));
+  add_sample(out, "fleet.submitted", static_cast<double>(rep.submitted));
+  add_sample(out, "fleet.cold_runs", static_cast<double>(rep.cold_runs));
+  add_sample(out, "fleet.warm_hits", static_cast<double>(rep.warm_hits));
+  add_sample(out, "fleet.duplicates", static_cast<double>(rep.duplicates));
+  add_sample(out, "fleet.rejected", static_cast<double>(rep.rejected));
+  add_sample(out, "fleet.cancelled", static_cast<double>(rep.cancelled));
+  add_sample(out, "fleet.overflow", static_cast<double>(rep.overflow));
+  add_sample(out, "fleet.lost_requests",
+             static_cast<double>(rep.lost_requests));
+  add_sample(out, "fleet.unique_configs",
+             static_cast<double>(rep.unique_configs));
+  add_sample(out, "fleet.redundant_cold_runs",
+             static_cast<double>(rep.redundant_cold_runs));
+  add_sample(out, "fleet.skipped_lines",
+             static_cast<double>(rep.skipped_lines));
+  add_quantile_sample(out, "fleet.warm_hit_rate", rep.warm_hit_rate);
+  add_quantile_sample(out, "fleet.dedupe_efficiency", rep.dedupe_efficiency);
+  add_quantile_sample(out, "fleet.cold_ms_p50", rep.cold_ms_p50);
+  add_quantile_sample(out, "fleet.cold_ms_p90", rep.cold_ms_p90);
+  add_quantile_sample(out, "fleet.cold_ms_p99", rep.cold_ms_p99);
+  add_quantile_sample(out, "fleet.warm_hit_us_p50", rep.warm_hit_us_p50);
+  add_quantile_sample(out, "fleet.warm_hit_us_p90", rep.warm_hit_us_p90);
+  add_quantile_sample(out, "fleet.warm_hit_us_p99", rep.warm_hit_us_p99);
+}
+
+}  // namespace scs

@@ -1,0 +1,141 @@
+// Fleet aggregation: merge serve-layer evidence from several daemon
+// instances' ledgers into one dashboard (report_cli `fleet` mode).
+//
+// Each synthesize_server instance appends to its own ledger: "synthesis"
+// records with source "serve" (cold runs), "serve-hit" (dedupe warm hits)
+// and verdicts including REJECTED/CANCELLED, plus one "bench" record with
+// source "serve_daemon" at drain carrying the instance's final counters and
+// latency quantiles (the daemon summary). Fleet aggregation reads N such
+// ledgers -- one per instance, paths or globs -- and derives:
+//
+//   per instance : traffic counters, verdict mix, cold-latency quantiles,
+//                  warm-hit latency quantiles, lost requests
+//                  (ingested - results written);
+//   fleet-wide   : the same rolled up, plus dedupe efficiency (fraction of
+//                  submits that avoided a cold run), warm-hit rate, distinct
+//                  config keys, and redundant cold runs -- config keys
+//                  cold-solved on more than one instance, i.e. the work a
+//                  cross-instance shared inbox (ROADMAP 1(b)) would save.
+//
+// The rollup feeds three renderers: markdown and JSON dashboards, and
+// MetricSamples under "fleet.*" for the baselines/fleet.json SLO gate
+// (zero lost requests, warm-hit latency ceiling).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/baseline.hpp"
+
+namespace scs {
+
+/// Everything learned about one instance from one ledger file.
+struct FleetInstanceStats {
+  std::string ledger_path;
+  /// Instance label: the daemon summary's "instance" field when present,
+  /// else the ledger filename stem.
+  std::string instance;
+
+  // -- From "synthesis" records (serve traffic).
+  std::uint64_t cold_records = 0;  // source == "serve"
+  std::uint64_t warm_records = 0;  // source == "serve-hit"
+  std::map<std::string, std::uint64_t> verdicts;  // verdict -> count
+  std::vector<double> cold_seconds;  // cold-run total_seconds (unsorted)
+  std::set<std::string> served_keys;  // distinct config keys (cold + warm)
+  std::set<std::string> cold_keys;    // keys cold-solved on this instance
+  int skipped_lines = 0;  // torn/foreign lines the reader rejected
+
+  // -- From "serve_daemon" bench summaries (counters summed when a ledger
+  //    holds several daemon lifetimes).
+  int summaries = 0;
+  std::uint64_t submitted = 0;
+  std::uint64_t cold_runs = 0;
+  std::uint64_t warm_hits = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t overflow = 0;
+  std::uint64_t ingested = 0;
+  std::uint64_t results_written = 0;
+  /// Requests this instance ingested but never produced a result file for
+  /// (max(0, ingested - results_written), summed over summaries).
+  std::uint64_t lost_requests = 0;
+  /// Warm-hit latency quantiles from the summary, microseconds; -1 when the
+  /// instance never served a warm hit (rendered as "-", never 0).
+  double warm_hit_us_p50 = -1.0;
+  double warm_hit_us_p90 = -1.0;
+  double warm_hit_us_p99 = -1.0;
+  /// Queue-wait p99 from the summary, milliseconds; -1 when unknown.
+  double queue_wait_ms_p99 = -1.0;
+};
+
+/// The merged fleet view.
+struct FleetReport {
+  std::vector<FleetInstanceStats> instances;
+
+  // Rollups (sums / merges over instances).
+  std::uint64_t submitted = 0;
+  std::uint64_t cold_runs = 0;
+  std::uint64_t warm_hits = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t overflow = 0;
+  std::uint64_t lost_requests = 0;
+  int daemon_summaries = 0;
+  std::map<std::string, std::uint64_t> verdicts;
+  /// Distinct config keys served anywhere in the fleet.
+  std::uint64_t unique_configs = 0;
+  /// Sum over keys of (instances that cold-solved the key - 1): cold work
+  /// a fleet-wide dedupe would have avoided. 0 when every key was cold on
+  /// at most one instance.
+  std::uint64_t redundant_cold_runs = 0;
+  /// warm_hits / (warm_hits + cold_runs); -1 when no traffic.
+  double warm_hit_rate = -1.0;
+  /// (warm_hits + duplicates) / submitted -- the fraction of submitted
+  /// requests that never cost a cold solve; -1 when no submits.
+  double dedupe_efficiency = -1.0;
+  /// Exact quantiles over every instance's cold-run total_seconds, in
+  /// milliseconds; -1 when no cold runs were recorded.
+  double cold_ms_p50 = -1.0;
+  double cold_ms_p90 = -1.0;
+  double cold_ms_p99 = -1.0;
+  /// Worst (max) warm-hit quantile across instances, microseconds; -1 when
+  /// no instance served a warm hit.
+  double warm_hit_us_p50 = -1.0;
+  double warm_hit_us_p90 = -1.0;
+  double warm_hit_us_p99 = -1.0;
+  int skipped_lines = 0;
+  /// Per-file read errors worth surfacing (missing ledger etc.).
+  std::vector<std::string> errors;
+};
+
+/// Expand ledger path arguments: a component containing '*' or '?' is
+/// matched (filename-level wildcards, '*' does not cross '/') against the
+/// parent directory; plain paths pass through even when absent (the
+/// aggregator reports them as errors). Result is sorted and deduplicated.
+std::vector<std::string> fleet_expand_ledger_args(
+    const std::vector<std::string>& args);
+
+/// Read every ledger in `paths` (one instance each) and merge.
+FleetReport fleet_aggregate(const std::vector<std::string>& paths);
+
+/// Human dashboard: fleet rollup table, per-instance table, verdict mix.
+std::string fleet_markdown(const FleetReport& report);
+
+/// The same content as one JSON document (machine-readable artifact).
+std::string fleet_json(const FleetReport& report);
+
+/// Emit baseline-gate samples under "fleet.*" (instances, daemon_summaries,
+/// submitted, cold_runs, warm_hits, duplicates, rejected, cancelled,
+/// overflow, lost_requests, unique_configs, redundant_cold_runs,
+/// warm_hit_rate, dedupe_efficiency, cold_ms_p50/p90/p99,
+/// warm_hit_us_p50/p90/p99, skipped_lines). Unknown quantiles (-1) are NOT
+/// emitted, so a gate on them fails as kMissingCurrent instead of passing
+/// against a sentinel.
+void fleet_samples(const FleetReport& report, MetricSamples* out);
+
+}  // namespace scs

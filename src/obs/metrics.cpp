@@ -101,9 +101,16 @@ std::string MetricsRegistry::json() const {
     // Derived quantile estimates (bucket upper bounds, clamped to max) so
     // ledger/baseline consumers get p50/p90/p99 without re-deriving them
     // from the raw buckets -- which stay alongside for exact analysis.
-    w.key("p50").value(h->quantile_upper(0.50));
-    w.key("p90").value(h->quantile_upper(0.90));
-    w.key("p99").value(h->quantile_upper(0.99));
+    // Empty histogram => null: a never-observed latency is unknown, not 0.
+    if (h->count() == 0) {
+      w.key("p50").null();
+      w.key("p90").null();
+      w.key("p99").null();
+    } else {
+      w.key("p50").value(h->quantile_upper(0.50));
+      w.key("p90").value(h->quantile_upper(0.90));
+      w.key("p99").value(h->quantile_upper(0.99));
+    }
     w.key("buckets").begin_array();
     for (int b = 0; b < Histogram::kBuckets; ++b) {
       const std::uint64_t n = h->bucket_count(b);
@@ -122,6 +129,33 @@ std::string MetricsRegistry::json() const {
   w.end_object();
   w.end_object();
   return w.str();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mu);
+  MetricsSnapshot snap;
+  snap.counters.reserve(im.counters.size());
+  for (const auto& [name, c] : im.counters)
+    snap.counters.push_back({name, c->value()});
+  snap.gauges.reserve(im.gauges.size());
+  for (const auto& [name, g] : im.gauges)
+    snap.gauges.push_back({name, g->value(), g->max()});
+  snap.histograms.reserve(im.histograms.size());
+  for (const auto& [name, h] : im.histograms) {
+    MetricsSnapshot::HistogramSample s;
+    s.name = name;
+    s.count = h->count();
+    s.sum = h->sum();
+    s.max = h->max();
+    s.p50 = h->quantile_upper(0.50);
+    s.p90 = h->quantile_upper(0.90);
+    s.p99 = h->quantile_upper(0.99);
+    for (int b = 0; b < Histogram::kBuckets; ++b)
+      s.buckets[b] = h->bucket_count(b);
+    snap.histograms.push_back(std::move(s));
+  }
+  return snap;
 }
 
 void MetricsRegistry::reset_for_tests() {

@@ -96,7 +96,9 @@ class Histogram {
   /// Upper-bound estimate of the q-quantile (q in [0,1]) from the bucket
   /// counts: the bound of the first bucket whose cumulative count reaches
   /// ceil(q * count), clamped to the exact tracked max (so p99 never
-  /// reports above an observed value). 0 when the histogram is empty.
+  /// reports above an observed value). 0 when the histogram is empty --
+  /// callers that surface quantiles must check count() first and render
+  /// null/absent instead (the registry JSON and Prometheus exposition do).
   /// Approximate under concurrent observes, like every other read here.
   std::uint64_t quantile_upper(double q) const;
   void reset() {
@@ -119,6 +121,36 @@ class Histogram {
   std::atomic<std::uint64_t> max_{0};
 };
 
+/// Point-in-time copy of every registered instrument, for exporters that
+/// need to iterate the registry (Prometheus text exposition, the daemon's
+/// status.json) without touching registration internals. Values are read
+/// with relaxed loads, so a snapshot taken under concurrent updates is
+/// approximate in the same way every other read here is.
+struct MetricsSnapshot {
+  struct CounterSample {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeSample {
+    std::string name;
+    std::int64_t value = 0;
+    std::int64_t max = 0;
+  };
+  struct HistogramSample {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t max = 0;
+    std::uint64_t p50 = 0;  // meaningless when count == 0 (render as null)
+    std::uint64_t p90 = 0;
+    std::uint64_t p99 = 0;
+    std::uint64_t buckets[Histogram::kBuckets] = {};
+  };
+  std::vector<CounterSample> counters;    // sorted by name
+  std::vector<GaugeSample> gauges;        // sorted by name
+  std::vector<HistogramSample> histograms;  // sorted by name
+};
+
 /// Name -> instrument registry. Instruments are created on first lookup and
 /// never destroyed or moved (references stay valid for the process
 /// lifetime, so sites may cache them in function-local statics).
@@ -133,8 +165,14 @@ class MetricsRegistry {
 
   /// Serialize every registered instrument as one JSON object, sorted by
   /// name: counters as integers, gauges as {value,max}, histograms as
-  /// {count,sum,max,buckets:[{le,count},...]}.
+  /// {count,sum,max,buckets:[{le,count},...]}. Quantiles of an empty
+  /// histogram are emitted as JSON null, never 0 -- a never-observed serve
+  /// latency must not read as "instant".
   std::string json() const;
+
+  /// Copy every instrument's current values (exporters; see
+  /// MetricsSnapshot).
+  MetricsSnapshot snapshot() const;
 
   /// Zero every instrument (tests and bench iterations).
   void reset_for_tests();

@@ -7,6 +7,7 @@
 #include "core/report.hpp"
 #include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/hash.hpp"
 #include "util/log.hpp"
 
@@ -17,6 +18,12 @@ namespace {
 void bump(const char* name) {
   if (!metrics_enabled()) return;
   MetricsRegistry::instance().counter(name).add(1);
+}
+
+/// Correlation id of a request: the client's id, or the hex config key for
+/// anonymous in-process submits.
+std::string request_rid(const JobRequest& request, std::uint64_t key) {
+  return request.id.empty() ? hash_to_hex(key) : request.id;
 }
 
 }  // namespace
@@ -50,13 +57,19 @@ SynthesisServer::~SynthesisServer() { drain(); }
 
 SynthesisServer::Submit SynthesisServer::submit(const JobRequest& request) {
   Submit out;
+  Stopwatch submit_sw;
   submitted_.fetch_add(1, std::memory_order_relaxed);
   bump("serve.submitted");
+  // Pre-key rejections correlate on the client's id alone.
+  std::optional<TraceIdScope> id_scope;
+  if (trace_enabled() && !request.id.empty()) id_scope.emplace(request.id);
   if (draining()) {
     out.kind = Submit::Kind::kRejected;
     out.error = "server is draining";
     rejected_.fetch_add(1, std::memory_order_relaxed);
     bump("serve.rejected");
+    trace_instant("serve.reject");
+    append_rejected_ledger(request, 0, out.error);
     return out;
   }
   if (!benchmark_id_from_name(request.benchmark)) {
@@ -64,12 +77,20 @@ SynthesisServer::Submit SynthesisServer::submit(const JobRequest& request) {
     out.error = "unknown benchmark '" + request.benchmark + "'";
     rejected_.fetch_add(1, std::memory_order_relaxed);
     bump("serve.rejected");
+    trace_instant("serve.reject");
+    append_rejected_ledger(request, 0, out.error);
     return out;
   }
 
   SynthesisJob job = make_job(request, config_.store, config_.ledger_path);
   const std::uint64_t key = job.config_key();
   out.key = key;
+  const std::string rid = request_rid(request, key);
+  if (trace_enabled()) {
+    id_scope.reset();
+    id_scope.emplace(rid);
+    trace_instant("serve.submit");
+  }
 
   std::shared_ptr<Entry> entry;
   std::shared_ptr<Entry> hit;
@@ -80,6 +101,8 @@ SynthesisServer::Submit SynthesisServer::submit(const JobRequest& request) {
       hit = it->second;
     } else {
       entry = std::make_shared<Entry>(request, std::move(job), key);
+      entry->rid = rid;
+      entry->submit_trace_ns = trace_enabled() ? trace_now_ns() : 0;
       jobs_.emplace(key, entry);
     }
   }
@@ -95,11 +118,19 @@ SynthesisServer::Submit SynthesisServer::submit(const JobRequest& request) {
       out.kind = Submit::Kind::kWarmHit;
       warm_hits_.fetch_add(1, std::memory_order_relaxed);
       bump("serve.warm_hits");
+      trace_instant("serve.warm_hit");
       append_warm_hit_ledger(*hit);
+      if (metrics_enabled()) {
+        // Whole warm-hit submit path in microseconds: the latency a client
+        // pays when the answer is already in memory (fleet SLO input).
+        MetricsRegistry::instance().histogram("serve.warm_hit_us").observe(
+            static_cast<std::uint64_t>(submit_sw.seconds() * 1e6));
+      }
     } else {
       out.kind = Submit::Kind::kDuplicate;
       duplicates_.fetch_add(1, std::memory_order_relaxed);
       bump("serve.duplicates");
+      trace_instant("serve.dup_attach");
     }
     return out;
   }
@@ -116,6 +147,9 @@ SynthesisServer::Submit SynthesisServer::submit(const JobRequest& request) {
     case ShardedJobQueue::Push::kFull:
       out.error = "queue full";
       out.retry_after_seconds = config_.retry_after_seconds;
+      overflow_.fetch_add(1, std::memory_order_relaxed);
+      bump("serve.overflow");
+      trace_instant("serve.overflow");
       break;
     case ShardedJobQueue::Push::kClosed:
       out.error = "server is draining";
@@ -131,6 +165,12 @@ SynthesisServer::Submit SynthesisServer::submit(const JobRequest& request) {
   out.kind = Submit::Kind::kRejected;
   rejected_.fetch_add(1, std::memory_order_relaxed);
   bump("serve.rejected");
+  trace_instant("serve.reject");
+  // Backpressure rejections are retryable (the spool keeps the request in
+  // the inbox and resubmits), so they carry no terminal ledger record --
+  // only the overflow counter above. A drain-race rejection is terminal.
+  if (out.retry_after_seconds == 0.0)
+    append_rejected_ledger(request, key, out.error);
   return out;
 }
 
@@ -216,6 +256,10 @@ bool SynthesisServer::cancel(std::uint64_t key) {
   }
   entry->control.cancel();
   bump("serve.cancel_requests");
+  if (trace_enabled()) {
+    TraceIdScope id_scope(entry->rid);
+    trace_instant("serve.cancel_request");
+  }
   return true;
 }
 
@@ -244,10 +288,22 @@ void SynthesisServer::worker_loop() {
 }
 
 void SynthesisServer::run_entry(const std::shared_ptr<Entry>& entry) {
+  // The whole cold run (queue-wait close, solve, result publication)
+  // correlates on the request id; the pipeline re-installs the same id via
+  // JobContext::request_id for its own span tree and pool fan-out.
+  std::optional<TraceIdScope> id_scope;
+  if (trace_enabled()) {
+    id_scope.emplace(entry->rid);
+    trace_complete("serve.queue_wait", entry->submit_trace_ns);
+  }
   {
     std::lock_guard<std::mutex> elk(entry->m);
     entry->state = JobState::kRunning;
     entry->queue_seconds = entry->queued_sw.seconds();
+  }
+  if (metrics_enabled()) {
+    MetricsRegistry::instance().histogram("serve.queue_wait_ms").observe(
+        static_cast<std::uint64_t>(entry->queue_seconds * 1e3));
   }
   // The deadline arms at start-of-run: queue wait must not eat the budget.
   if (entry->request.deadline_seconds > 0.0)
@@ -257,7 +313,13 @@ void SynthesisServer::run_entry(const std::shared_ptr<Entry>& entry) {
   ctx.control = &entry->control;
   ctx.cache = &cache_;
   ctx.source = "serve";
+  ctx.request_id = entry->rid;
 
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_enabled()) {
+    MetricsRegistry::instance().gauge("serve.in_flight").set(
+        static_cast<std::int64_t>(in_flight_.load(std::memory_order_relaxed)));
+  }
   Stopwatch run_sw;
   std::shared_ptr<SynthesisResult> result;
   try {
@@ -272,13 +334,22 @@ void SynthesisServer::run_entry(const std::shared_ptr<Entry>& entry) {
     result->failure_message = e.what();
     log_info("serve: job ", hash_to_hex(entry->key), " threw: ", e.what());
   }
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
   cold_runs_.fetch_add(1, std::memory_order_relaxed);
   bump("serve.cold_runs");
+  if (result->verdict == "CANCELLED" || result->verdict == "DEADLINE") {
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+    bump("serve.cancelled");
+    trace_instant("serve.cancelled");
+  }
   if (metrics_enabled()) {
+    MetricsRegistry::instance().gauge("serve.in_flight").set(
+        static_cast<std::int64_t>(in_flight_.load(std::memory_order_relaxed)));
     MetricsRegistry::instance().histogram("serve.run_ms").observe(
         static_cast<std::uint64_t>(run_sw.seconds() * 1e3));
   }
   {
+    TraceSpan publish_span("serve.result_publish");
     std::lock_guard<std::mutex> elk(entry->m);
     entry->run_seconds = run_sw.seconds();
     entry->result = std::move(result);
@@ -302,6 +373,24 @@ void SynthesisServer::append_warm_hit_ledger(const Entry& entry) {
   // came from the pipeline (source "serve"); hits are distinguishable by
   // source so drain audits can count cold-vs-warm exactly.
   ledger_append(path, ledger_record(*result, entry.key, seed, "serve-hit"));
+}
+
+void SynthesisServer::append_rejected_ledger(const JobRequest& request,
+                                             std::uint64_t key,
+                                             const std::string& error) {
+  const std::string path = resolve_ledger_path(config_.ledger_path);
+  if (path.empty()) return;
+  // Rejections never ran, so there is no pipeline record to lean on; a
+  // minimal synthesis-kind record (verdict REJECTED, source
+  // "serve-rejected") keeps every refused request visible to fleet
+  // aggregation's lost-request and verdict-mix accounting.
+  SynthesisResult result;
+  result.benchmark = request.benchmark;
+  result.verdict = "REJECTED";
+  result.failure_stage = "serve";
+  result.failure_message = error;
+  ledger_append(path,
+                ledger_record(result, key, request.seed, "serve-rejected"));
 }
 
 }  // namespace scs

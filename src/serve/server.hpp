@@ -116,7 +116,14 @@ class SynthesisServer {
   std::uint64_t warm_hits() const { return warm_hits_.load(); }
   std::uint64_t duplicates() const { return duplicates_.load(); }
   std::uint64_t rejected() const { return rejected_.load(); }
+  /// Backpressure rejections only (queue kFull) -- a subset of rejected().
+  std::uint64_t overflow() const { return overflow_.load(); }
+  /// Jobs that finished with a CANCELLED or DEADLINE verdict.
+  std::uint64_t cancelled() const { return cancelled_.load(); }
+  /// Jobs currently inside run_entry (cold solves in progress).
+  std::uint64_t in_flight() const { return in_flight_.load(); }
   std::size_t queue_depth() const { return queue_.size(); }
+  std::size_t queue_shards() const { return queue_.shard_count(); }
   const ServerConfig& config() const { return config_; }
 
  private:
@@ -126,6 +133,12 @@ class SynthesisServer {
     JobRequest request;
     SynthesisJob job;
     std::uint64_t key;
+    /// Trace correlation id: the client's request id, or the hex key for
+    /// anonymous submits. Tags every span/instant of this job's lifecycle.
+    std::string rid;
+    /// Trace-clock timestamp of the submit, closing the cross-thread
+    /// "serve.queue_wait" span when a worker picks the job up.
+    std::int64_t submit_trace_ns = 0;
     JobControl control;
     Stopwatch queued_sw;  // started at submit
     mutable std::mutex m;
@@ -139,6 +152,8 @@ class SynthesisServer {
   void worker_loop();
   void run_entry(const std::shared_ptr<Entry>& entry);
   void append_warm_hit_ledger(const Entry& entry);
+  void append_rejected_ledger(const JobRequest& request, std::uint64_t key,
+                              const std::string& error);
   JobStatus status_of(const Entry& entry) const;
 
   ServerConfig config_;
@@ -156,6 +171,9 @@ class SynthesisServer {
   std::atomic<std::uint64_t> warm_hits_{0};
   std::atomic<std::uint64_t> duplicates_{0};
   std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> overflow_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> in_flight_{0};
 };
 
 }  // namespace scs

@@ -7,7 +7,11 @@
 #include <system_error>
 #include <vector>
 
+#include "obs/exposition.hpp"
 #include "obs/json_writer.hpp"
+#include "obs/ledger.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/request.hpp"
 #include "util/hash.hpp"
 #include "util/log.hpp"
@@ -29,12 +33,33 @@ bool read_file(const std::string& path, std::string* out) {
 
 std::string stem_of(const fs::path& p) { return p.stem().string(); }
 
+/// {"p50":...,"p90":...,"p99":...,"count":...} for one registry histogram;
+/// quantiles are null until something was observed (a never-seen latency
+/// must not read as 0).
+void write_latency_object(JsonWriter& w, const char* key,
+                          const Histogram& h) {
+  const std::uint64_t count = h.count();
+  w.key(key).begin_object();
+  w.key("count").value(count);
+  if (count == 0) {
+    w.key("p50").null();
+    w.key("p90").null();
+    w.key("p99").null();
+  } else {
+    w.key("p50").value(h.quantile_upper(0.50));
+    w.key("p90").value(h.quantile_upper(0.90));
+    w.key("p99").value(h.quantile_upper(0.99));
+  }
+  w.end_object();
+}
+
 }  // namespace
 
 bool spool_init(const SpoolLayout& layout, std::string* error) {
   std::error_code ec;
   for (const std::string& dir :
-       {layout.inbox(), layout.results(), layout.ctl()}) {
+       {layout.inbox(), layout.results(), layout.ctl(),
+        layout.cancel_dir()}) {
     fs::create_directories(dir, ec);
     if (ec) {
       if (error != nullptr)
@@ -92,7 +117,10 @@ std::string job_result_json(const std::string& id, std::uint64_t key,
 }
 
 SpoolRunner::SpoolRunner(SynthesisServer& server, SpoolLayout layout)
-    : server_(server), layout_(std::move(layout)) {}
+    : server_(server), layout_(std::move(layout)) {
+  instance_ = fs::path(layout_.root).filename().string();
+  if (instance_.empty()) instance_ = layout_.root;
+}
 
 bool SpoolRunner::drain_requested() const {
   std::error_code ec;
@@ -113,11 +141,13 @@ void SpoolRunner::write_error_result(const std::string& id,
 }
 
 int SpoolRunner::poll_once() {
+  apply_cancel_markers();
   if (server_.draining()) {
     // Drain mode: stop ingesting (inbox files stay for the next server
-    // instance), only sweep finished jobs and refresh the status file.
+    // instance), only sweep finished jobs and refresh the exposition files.
     sweep_results();
     write_status();
+    write_metrics();
     return 0;
   }
   // Ingest in filename order so clients can impose FIFO with zero-padded
@@ -176,6 +206,10 @@ int SpoolRunner::poll_once() {
     p.id = request.id.empty() ? hash_to_hex(submit.key) : request.id;
     p.key = submit.key;
     p.warm_hit = (submit.kind == SynthesisServer::Submit::Kind::kWarmHit);
+    if (trace_enabled()) {
+      TraceIdScope id_scope(p.id);
+      trace_instant("spool.ingest");
+    }
     pending_[p.id] = p;
     fs::remove(file, ec);
     ++ingested;
@@ -184,6 +218,7 @@ int SpoolRunner::poll_once() {
 
   sweep_results();
   write_status();
+  write_metrics();
   return ingested;
 }
 
@@ -199,25 +234,56 @@ void SpoolRunner::sweep_results() {
     const double queue_s = status ? status->queue_seconds : 0.0;
     const double run_s = status ? status->run_seconds : 0.0;
     const std::string path = layout_.results() + "/" + p.id + ".json";
-    atomic_write_file(path, job_result_json(p.id, p.key, *result, p.warm_hit,
-                                            queue_s, run_s));
+    {
+      // Closes the request's span tree: submit/ingest -> queue_wait ->
+      // synthesize -> result_write, all cut by the same rid.
+      std::optional<TraceIdScope> id_scope;
+      if (trace_enabled()) id_scope.emplace(p.id);
+      TraceSpan write_span("spool.result_write");
+      atomic_write_file(path, job_result_json(p.id, p.key, *result,
+                                              p.warm_hit, queue_s, run_s));
+    }
     ++results_written_;
     it = pending_.erase(it);
   }
 }
 
 void SpoolRunner::write_status() const {
+  MetricsRegistry& reg = MetricsRegistry::instance();
   JsonWriter w;
   w.begin_object();
+  w.key("schema").value(kStatusSchemaVersion);
+  w.key("kind").value("serve_status");
+  w.key("instance").value(instance_);
   w.key("draining").value(server_.draining());
   w.key("queue_depth").value(static_cast<std::uint64_t>(server_.queue_depth()));
+  w.key("queue_capacity")
+      .value(static_cast<std::uint64_t>(server_.config().queue_capacity));
+  // Shard occupancy: depth spread over the sharded queue (exact per-shard
+  // sizes are not exposed; depth/shards is the mean occupancy).
+  w.key("shards").value(static_cast<std::uint64_t>(server_.queue_shards()));
+  w.key("in_flight").value(server_.in_flight());
+  w.key("retry_after_seconds").value(server_.config().retry_after_seconds);
+  w.key("counters").begin_object();
   w.key("submitted").value(server_.submitted());
   w.key("cold_runs").value(server_.cold_runs());
   w.key("warm_hits").value(server_.warm_hits());
   w.key("duplicates").value(server_.duplicates());
   w.key("rejected").value(server_.rejected());
+  w.key("cancelled").value(server_.cancelled());
+  w.key("overflow").value(server_.overflow());
+  w.end_object();
   w.key("pending").value(static_cast<std::uint64_t>(pending_.size()));
+  w.key("ingested").value(ingested_total_);
   w.key("results_written").value(results_written_);
+  // Latency histograms (ms / us as named). Counts are 0 and quantiles null
+  // until the daemon enables metrics collection and traffic arrives.
+  w.key("latency").begin_object();
+  write_latency_object(w, "queue_wait_ms",
+                       reg.histogram("serve.queue_wait_ms"));
+  write_latency_object(w, "run_ms", reg.histogram("serve.run_ms"));
+  write_latency_object(w, "warm_hit_us", reg.histogram("serve.warm_hit_us"));
+  w.end_object();
   w.key("jobs").begin_array();
   for (const JobStatus& s : server_.jobs()) {
     w.begin_object();
@@ -233,6 +299,67 @@ void SpoolRunner::write_status() const {
   w.end_array();
   w.end_object();
   atomic_write_file(layout_.status_file(), w.str());
+}
+
+void SpoolRunner::write_metrics() const {
+  if (!metrics_enabled()) return;
+  atomic_write_file(layout_.metrics_file(),
+                    prometheus_text(MetricsRegistry::instance().snapshot()));
+}
+
+int SpoolRunner::apply_cancel_markers() {
+  std::error_code ec;
+  std::vector<fs::path> markers;
+  for (const auto& entry : fs::directory_iterator(layout_.cancel_dir(), ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    markers.push_back(entry.path());
+  }
+  int cancelled = 0;
+  for (const fs::path& marker : markers) {
+    const std::string id = marker.filename().string();
+    const auto it = pending_.find(id);
+    if (it != pending_.end()) {
+      if (server_.cancel(it->second.key)) ++cancelled;
+      // An already-finished job ignores the cancel; its result is swept
+      // normally. Either way the marker is consumed.
+      fs::remove(marker, ec);
+    } else if (fs::exists(layout_.results() + "/" + id + ".json", ec)) {
+      // Job already finished and was swept out of pending_: cancel is a
+      // no-op, consume the marker.
+      fs::remove(marker, ec);
+    } else {
+      // Unknown id: the request may still be sitting in the inbox (the
+      // client raced the marker ahead of ingestion). Keep the marker so the
+      // next poll -- after ingestion -- can apply it.
+      log_debug("spool: cancel marker for unknown id '", id, "' deferred");
+    }
+  }
+  return cancelled;
+}
+
+bool SpoolRunner::append_daemon_summary() const {
+  const std::string path =
+      resolve_ledger_path(server_.config().ledger_path);
+  if (path.empty()) return false;
+  MetricsRegistry& reg = MetricsRegistry::instance();
+  JsonWriter w;
+  w.begin_object();
+  w.key("instance").value(instance_);
+  w.key("submitted").value(server_.submitted());
+  w.key("cold_runs").value(server_.cold_runs());
+  w.key("warm_hits").value(server_.warm_hits());
+  w.key("duplicates").value(server_.duplicates());
+  w.key("rejected").value(server_.rejected());
+  w.key("cancelled").value(server_.cancelled());
+  w.key("overflow").value(server_.overflow());
+  w.key("ingested").value(ingested_total_);
+  w.key("results_written").value(results_written_);
+  write_latency_object(w, "queue_wait_ms",
+                       reg.histogram("serve.queue_wait_ms"));
+  write_latency_object(w, "run_ms", reg.histogram("serve.run_ms"));
+  write_latency_object(w, "warm_hit_us", reg.histogram("serve.warm_hit_us"));
+  w.end_object();
+  return ledger_append_bench("serve_daemon", w.str(), path);
 }
 
 }  // namespace scs

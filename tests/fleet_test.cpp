@@ -1,0 +1,283 @@
+// Fleet aggregation (obs/fleet): multi-ledger ingestion for the
+// report_cli `fleet` mode. Covers glob expansion, two-instance merging
+// (counters, verdict mix, duplicate config-key reconciliation, lost
+// requests), concurrent multi-writer ledgers with torn-line tolerance,
+// daemon-summary quantile handling, and the "fleet.*" gate samples
+// (unknown quantiles must be absent, never 0).
+#include "obs/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json_reader.hpp"
+#include "obs/json_writer.hpp"
+#include "obs/ledger.hpp"
+
+namespace scs {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FleetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("scs_fleet_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+LedgerRecord serve_record(const std::string& source,
+                          const std::string& benchmark,
+                          const std::string& verdict, const std::string& key,
+                          double total_seconds) {
+  LedgerRecord r;
+  r.kind = "synthesis";
+  r.source = source;
+  r.benchmark = benchmark;
+  r.verdict = verdict;
+  r.config_key = key;
+  r.total_seconds = total_seconds;
+  return r;
+}
+
+/// A daemon summary as SpoolRunner::append_daemon_summary writes it.
+std::string summary_json(const std::string& instance, std::uint64_t submitted,
+                         std::uint64_t cold, std::uint64_t warm,
+                         std::uint64_t cancelled, std::uint64_t ingested,
+                         std::uint64_t written, double warm_p99) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("instance").value(instance);
+  w.key("submitted").value(submitted);
+  w.key("cold_runs").value(cold);
+  w.key("warm_hits").value(warm);
+  w.key("duplicates").value(std::uint64_t{0});
+  w.key("rejected").value(std::uint64_t{0});
+  w.key("cancelled").value(cancelled);
+  w.key("overflow").value(std::uint64_t{0});
+  w.key("ingested").value(ingested);
+  w.key("results_written").value(written);
+  w.key("warm_hit_us").begin_object();
+  if (warm_p99 >= 0) {
+    w.key("count").value(warm);
+    w.key("p50").value(warm_p99 / 2);
+    w.key("p90").value(warm_p99);
+    w.key("p99").value(warm_p99);
+  } else {
+    w.key("count").value(std::uint64_t{0});
+    w.key("p50").null();
+    w.key("p90").null();
+    w.key("p99").null();
+  }
+  w.end_object();
+  w.key("queue_wait_ms").begin_object();
+  w.key("count").value(std::uint64_t{0});
+  w.key("p50").null();
+  w.key("p90").null();
+  w.key("p99").null();
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+TEST_F(FleetTest, GlobExpansionMatchesSortsAndDedupes) {
+  for (const char* name : {"a.jsonl", "b.jsonl", "notes.txt"})
+    std::ofstream(path(name)) << "";
+  const auto out = fleet_expand_ledger_args(
+      {path("*.jsonl"), path("a.jsonl"), path("missing.jsonl")});
+  ASSERT_EQ(out.size(), 3u);  // a, b (glob; a deduped), missing passthrough
+  EXPECT_EQ(out[0], path("a.jsonl"));
+  EXPECT_EQ(out[1], path("b.jsonl"));
+  EXPECT_EQ(out[2], path("missing.jsonl"));
+  // '?' matches exactly one character.
+  EXPECT_EQ(fleet_expand_ledger_args({path("?.jsonl")}).size(), 2u);
+  // A glob matching nothing expands to nothing (the gate's instance floor
+  // catches the shrink), while plain paths always pass through.
+  EXPECT_TRUE(fleet_expand_ledger_args({path("zz*.jsonl")}).empty());
+}
+
+TEST_F(FleetTest, TwoInstancesMergeWithDuplicateKeyReconciliation) {
+  const std::string a = path("alpha.jsonl");
+  const std::string b = path("beta.jsonl");
+  // Both instances cold-solve config key K1 (redundant across the fleet);
+  // alpha also serves it warm, beta cold-solves a second key and cancels
+  // one job.
+  ASSERT_TRUE(
+      ledger_append(a, serve_record("serve", "C1", "VERIFIED", "k1", 2.0)));
+  ASSERT_TRUE(
+      ledger_append(a, serve_record("serve-hit", "C1", "VERIFIED", "k1", 2.0)));
+  ASSERT_TRUE(ledger_append_bench("serve_daemon",
+                                  summary_json("alpha", 2, 1, 1, 0, 2, 2, 150.0),
+                                  a));
+  ASSERT_TRUE(
+      ledger_append(b, serve_record("serve", "C1", "VERIFIED", "k1", 4.0)));
+  ASSERT_TRUE(
+      ledger_append(b, serve_record("serve", "C2", "CANCELLED", "k2", 0.1)));
+  ASSERT_TRUE(ledger_append_bench("serve_daemon",
+                                  summary_json("beta", 2, 2, 0, 1, 2, 2, -1.0),
+                                  b));
+
+  const FleetReport rep = fleet_aggregate({a, b});
+  ASSERT_EQ(rep.instances.size(), 2u);
+  EXPECT_EQ(rep.instances[0].instance, "alpha");  // from the summary
+  EXPECT_EQ(rep.instances[1].instance, "beta");
+  EXPECT_EQ(rep.submitted, 4u);
+  EXPECT_EQ(rep.cold_runs, 3u);
+  EXPECT_EQ(rep.warm_hits, 1u);
+  EXPECT_EQ(rep.cancelled, 1u);
+  EXPECT_EQ(rep.daemon_summaries, 2);
+  EXPECT_EQ(rep.lost_requests, 0u);
+  EXPECT_EQ(rep.unique_configs, 2u);
+  // k1 went cold on both instances: one redundant cold run.
+  EXPECT_EQ(rep.redundant_cold_runs, 1u);
+  EXPECT_DOUBLE_EQ(rep.warm_hit_rate, 1.0 / 4.0);
+  EXPECT_DOUBLE_EQ(rep.dedupe_efficiency, 1.0 / 4.0);
+  EXPECT_EQ(rep.verdicts.at("VERIFIED"), 3u);
+  EXPECT_EQ(rep.verdicts.at("CANCELLED"), 1u);
+  // Worst-instance warm p99 = alpha's 150us; beta (no warm hits) must not
+  // drag it to a sentinel.
+  EXPECT_DOUBLE_EQ(rep.warm_hit_us_p99, 150.0);
+  EXPECT_DOUBLE_EQ(rep.instances[1].warm_hit_us_p99, -1.0);
+  // Exact cold quantiles over {2.0, 4.0, 0.1} seconds -> ms.
+  EXPECT_DOUBLE_EQ(rep.cold_ms_p50, 2000.0);
+  EXPECT_DOUBLE_EQ(rep.cold_ms_p99, 4000.0);
+}
+
+TEST_F(FleetTest, LostRequestsFromSummaryImbalance) {
+  const std::string a = path("a.jsonl");
+  ASSERT_TRUE(ledger_append_bench(
+      "serve_daemon", summary_json("a", 5, 5, 0, 0, 5, 3, -1.0), a));
+  const FleetReport rep = fleet_aggregate({a});
+  EXPECT_EQ(rep.lost_requests, 2u);
+}
+
+TEST_F(FleetTest, ConcurrentWritersAndTornLineTolerated) {
+  const std::string a = path("inst_a.jsonl");
+  const std::string b = path("inst_b.jsonl");
+  // Two simulated instances, four writer threads each, appending through
+  // the locked ledger_append path concurrently.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 25;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const std::string& path = (t % 2 == 0) ? a : b;
+      const std::string inst = (t % 2 == 0) ? "a" : "b";
+      for (int i = 0; i < kPerThread; ++i) {
+        LedgerRecord r = serve_record(
+            "serve", "C1", "VERIFIED",
+            "key_" + inst + std::to_string(t) + "_" + std::to_string(i),
+            0.5);
+        ASSERT_TRUE(ledger_append(path, std::move(r)));
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  // Simulate a crash mid-append: a torn trailing line on instance a.
+  std::ofstream(a, std::ios::app) << "{\"schema\":1,\"kind\":\"synt";
+
+  const FleetReport rep = fleet_aggregate({a, b});
+  ASSERT_EQ(rep.instances.size(), 2u);
+  // Every intact record survives; only the torn line is skipped.
+  EXPECT_EQ(rep.instances[0].cold_records, 4u * kPerThread);
+  EXPECT_EQ(rep.instances[1].cold_records, 4u * kPerThread);
+  EXPECT_EQ(rep.skipped_lines, 1);
+  EXPECT_EQ(rep.unique_configs, 8u * kPerThread);
+  EXPECT_EQ(rep.redundant_cold_runs, 0u);
+}
+
+TEST_F(FleetTest, MissingLedgerReportsErrorNotCrash) {
+  const std::string a = path("present.jsonl");
+  ASSERT_TRUE(
+      ledger_append(a, serve_record("serve", "C1", "VERIFIED", "k", 1.0)));
+  const FleetReport rep = fleet_aggregate({a, path("absent.jsonl")});
+  EXPECT_EQ(rep.instances.size(), 2u);
+  EXPECT_FALSE(rep.errors.empty());
+  // Instance label for the summary-less ledger falls back to the stem.
+  EXPECT_EQ(rep.instances[0].instance, "present");
+}
+
+TEST_F(FleetTest, NonServeTrafficIgnored) {
+  const std::string a = path("mixed.jsonl");
+  ASSERT_TRUE(
+      ledger_append(a, serve_record("serve", "C1", "VERIFIED", "k", 1.0)));
+  ASSERT_TRUE(ledger_append(
+      a, serve_record("synthesize", "C2", "UNVERIFIED", "x", 9.0)));
+  ASSERT_TRUE(ledger_append_bench("bench_obs", "{\"n\":1}", a));
+  const FleetReport rep = fleet_aggregate({a});
+  EXPECT_EQ(rep.instances[0].cold_records, 1u);
+  EXPECT_EQ(rep.verdicts.count("UNVERIFIED"), 0u);
+  EXPECT_EQ(rep.daemon_summaries, 0);
+}
+
+TEST_F(FleetTest, RejectedRecordsCountVerdictsOnly) {
+  const std::string a = path("rej.jsonl");
+  ASSERT_TRUE(ledger_append(
+      a, serve_record("serve-rejected", "C9", "REJECTED", "", 0.0)));
+  const FleetReport rep = fleet_aggregate({a});
+  EXPECT_EQ(rep.instances[0].cold_records, 0u);
+  EXPECT_EQ(rep.instances[0].warm_records, 0u);
+  EXPECT_EQ(rep.verdicts.at("REJECTED"), 1u);
+  EXPECT_TRUE(rep.instances[0].cold_seconds.empty());
+}
+
+TEST_F(FleetTest, FleetJsonParsesAndNullsUnknownQuantiles) {
+  const std::string a = path("a.jsonl");
+  ASSERT_TRUE(ledger_append_bench(
+      "serve_daemon", summary_json("solo", 1, 1, 0, 0, 1, 1, -1.0), a));
+  const FleetReport rep = fleet_aggregate({a});
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(json_try_parse(fleet_json(rep), &doc, &error)) << error;
+  EXPECT_EQ(doc.find("instances")->int_or(0), 1);
+  // No warm hits anywhere: the quantile is null, not 0.
+  ASSERT_NE(doc.find("warm_hit_us_p99"), nullptr);
+  EXPECT_TRUE(doc.find("warm_hit_us_p99")->is_null());
+  // Markdown renders the same unknown as "-".
+  EXPECT_NE(fleet_markdown(rep).find("| - |"), std::string::npos);
+}
+
+TEST_F(FleetTest, SamplesOmitUnknownQuantilesSoGatesFailLoudly) {
+  const std::string a = path("a.jsonl");
+  ASSERT_TRUE(ledger_append_bench(
+      "serve_daemon", summary_json("solo", 1, 1, 0, 0, 1, 1, -1.0), a));
+  MetricSamples samples;
+  fleet_samples(fleet_aggregate({a}), &samples);
+  EXPECT_NE(samples.find("fleet.instances"), nullptr);
+  EXPECT_NE(samples.find("fleet.lost_requests"), nullptr);
+  // With one cold run the warm-hit rate is a legitimate 0.0 -- present.
+  ASSERT_NE(samples.find("fleet.warm_hit_rate"), nullptr);
+  EXPECT_DOUBLE_EQ(samples.find("fleet.warm_hit_rate")->front().number, 0.0);
+  // But the -1 sentinel quantiles are never emitted: a baseline keyed on
+  // them reports kMissingCurrent instead of passing against a fake number.
+  EXPECT_EQ(samples.find("fleet.warm_hit_us_p99"), nullptr);
+  EXPECT_EQ(samples.find("fleet.cold_ms_p99"), nullptr);
+
+  BaselineFile gate = baseline_parse(
+      "{\"schema\":1,\"name\":\"g\",\"metrics\":{"
+      "\"fleet.warm_hit_us_p99\":{\"kind\":\"max\",\"value\":100.0}}}");
+  const BaselineReport rep = baseline_compare(gate, samples);
+  EXPECT_FALSE(rep.passed());
+  EXPECT_EQ(rep.missing, 1);
+}
+
+}  // namespace
+}  // namespace scs

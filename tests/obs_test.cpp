@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "obs/exposition.hpp"
 #include "obs/json_writer.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -132,6 +133,83 @@ TEST_F(ObsTest, TraceWriteEmitsValidChromeJson) {
   std::remove(path.c_str());
 }
 
+TEST_F(ObsTest, TraceIdScopeTagsEventsAndRestoresOnExit) {
+  trace_start(temp_path("scs_obs_rid.json"));
+  trace_instant("before");
+  {
+    TraceIdScope outer("req-a");
+    trace_instant("outer.tick");
+    {
+      TraceSpan span("outer.span");
+      TraceIdScope inner("req-b");
+      trace_instant("inner.tick");
+    }
+    // Back to the outer id after the nested scope unwinds.
+    trace_instant("outer.again");
+  }
+  trace_instant("after");
+  const std::vector<TraceEvent> events = trace_snapshot();
+  EXPECT_EQ(find_event(events, "before")->id, "");
+  EXPECT_EQ(find_event(events, "outer.tick")->id, "req-a");
+  EXPECT_EQ(find_event(events, "inner.tick")->id, "req-b");
+  // The nested scope unwound before the span closed: back to req-a.
+  EXPECT_EQ(find_event(events, "outer.span")->id, "req-a");
+  EXPECT_EQ(find_event(events, "outer.again")->id, "req-a");
+  EXPECT_EQ(find_event(events, "after")->id, "");
+}
+
+TEST_F(ObsTest, TraceCompleteEmitsCrossThreadSpan) {
+  trace_start(temp_path("scs_obs_complete.json"));
+  const std::int64_t start = trace_now_ns();
+  TraceIdScope id("req-x");
+  trace_complete("cross.thread", start);
+  const std::vector<TraceEvent> events = trace_snapshot();
+  const TraceEvent* e = find_event(events, "cross.thread");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->phase, 'X');
+  EXPECT_EQ(e->ts_ns, start);
+  EXPECT_GE(e->dur_ns, 0);
+  EXPECT_EQ(e->id, "req-x");
+}
+
+TEST_F(ObsTest, ParallelForPropagatesCorrelationId) {
+  trace_start(temp_path("scs_obs_rid_pool.json"));
+  TraceIdScope id("req-pool");
+  parallel_for(64, 4, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i)
+      if (i % 16 == 0) trace_instant("pool.tick");
+  });
+  int ticks = 0;
+  for (const TraceEvent& e : trace_snapshot())
+    if (e.name == "pool.tick") {
+      ++ticks;
+      // Workers inherit the submitting thread's correlation id.
+      EXPECT_EQ(e.id, "req-pool");
+    }
+  EXPECT_EQ(ticks, 4);
+}
+
+TEST_F(ObsTest, TraceWriteEmitsRidArgs) {
+  const std::string path = temp_path("scs_obs_rid_write.json");
+  trace_start(path);
+  {
+    TraceIdScope id("req-42");
+    trace_instant("tagged");
+  }
+  trace_instant("untagged");
+  ASSERT_TRUE(trace_write(path));
+  const std::string blob = slurp(path);
+  std::string error;
+  EXPECT_TRUE(json_parse_valid(blob, &error)) << error;
+  EXPECT_NE(blob.find("\"args\":{\"rid\":\"req-42\"}"), std::string::npos)
+      << blob;
+  // The untagged event carries no args object at all.
+  const std::size_t untagged = blob.find("\"untagged\"");
+  ASSERT_NE(untagged, std::string::npos);
+  EXPECT_EQ(blob.find("\"rid\"", untagged), std::string::npos);
+  std::remove(path.c_str());
+}
+
 TEST_F(ObsTest, CountersAggregateExactlyAcrossPoolWorkers) {
   set_metrics_enabled(true);
   Counter& c = MetricsRegistry::instance().counter("test.parallel_adds");
@@ -170,6 +248,55 @@ TEST_F(ObsTest, HistogramQuantileUpperBounds) {
   EXPECT_EQ(h.quantile_upper(1.0), 500u);
   Histogram& empty = MetricsRegistry::instance().histogram("test.empty_q");
   EXPECT_EQ(empty.quantile_upper(0.5), 0u);
+}
+
+TEST_F(ObsTest, EmptyHistogramQuantilesRenderAsNullNeverZero) {
+  set_metrics_enabled(true);
+  // Pin the raw API: quantile_upper on an empty histogram returns 0 --
+  // callers that render must therefore check count() and emit null.
+  Histogram& h = MetricsRegistry::instance().histogram("test.never_obs");
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile_upper(0.5), 0u);
+  EXPECT_EQ(h.quantile_upper(0.99), 0u);
+  const std::string blob = MetricsRegistry::instance().json();
+  std::string error;
+  EXPECT_TRUE(json_parse_valid(blob, &error)) << error;
+  const std::size_t at = blob.find("test.never_obs");
+  ASSERT_NE(at, std::string::npos);
+  // JSON emits explicit null, not a misleading 0.
+  EXPECT_NE(blob.find("\"p50\":null", at), std::string::npos) << blob;
+  EXPECT_NE(blob.find("\"p99\":null", at), std::string::npos);
+  // The Prometheus exposition omits quantile lines entirely for an empty
+  // histogram, keeping buckets/_sum/_count.
+  const std::string prom = prometheus_text(MetricsRegistry::instance().snapshot());
+  EXPECT_NE(prom.find("scs_test_never_obs_count 0"), std::string::npos)
+      << prom;
+  EXPECT_EQ(prom.find("scs_test_never_obs_quantile"), std::string::npos);
+}
+
+TEST_F(ObsTest, PrometheusTextExposesAllInstrumentKinds) {
+  set_metrics_enabled(true);
+  MetricsRegistry::instance().counter("serve.warm_hits").add(3);
+  MetricsRegistry::instance().gauge("serve.in_flight").set(2);
+  Histogram& h = MetricsRegistry::instance().histogram("serve.wait.ms");
+  h.observe(3);
+  h.observe(700);
+  const std::string prom =
+      prometheus_text(MetricsRegistry::instance().snapshot());
+  EXPECT_NE(prom.find("# TYPE scs_serve_warm_hits counter"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("scs_serve_warm_hits 3"), std::string::npos);
+  EXPECT_NE(prom.find("scs_serve_in_flight 2"), std::string::npos);
+  EXPECT_NE(prom.find("scs_serve_in_flight_max 2"), std::string::npos);
+  // Dots sanitize to underscores; buckets are cumulative with +Inf last.
+  EXPECT_NE(prom.find("scs_serve_wait_ms_bucket{le=\"4\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("scs_serve_wait_ms_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("scs_serve_wait_ms_count 2"), std::string::npos);
+  EXPECT_NE(prom.find("scs_serve_wait_ms_quantile{q=\"0.99\"}"),
+            std::string::npos);
 }
 
 TEST_F(ObsTest, RegistryJsonIncludesDerivedQuantiles) {

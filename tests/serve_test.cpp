@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "obs/ledger.hpp"
+#include "obs/trace.hpp"
 #include "serve/job_queue.hpp"
 #include "serve/request.hpp"
 #include "serve/server.hpp"
@@ -253,17 +254,24 @@ TEST(SynthesisServer, ConcurrentDuplicateSubmitsRunExactlyOneColdPerKey) {
     EXPECT_EQ(late.kind, SynthesisServer::Submit::Kind::kRejected);
 
     // Ledger integrity: one "serve" record per cold run, one "serve-hit"
-    // record per warm hit, nothing torn, nothing duplicated.
+    // record per warm hit, one "serve-rejected" record per rejection (the
+    // post-drain submit above), nothing torn, nothing duplicated.
     const LedgerReadResult read = ledger_read(ledger);
     EXPECT_EQ(read.skipped, 0);
-    std::uint64_t cold_records = 0, hit_records = 0;
+    std::uint64_t cold_records = 0, hit_records = 0, rejected_records = 0;
     for (const LedgerRecord& rec : read.records) {
       if (rec.source == "serve") ++cold_records;
       if (rec.source == "serve-hit") ++hit_records;
+      if (rec.source == "serve-rejected") {
+        ++rejected_records;
+        EXPECT_EQ(rec.verdict, "REJECTED");
+      }
     }
     EXPECT_EQ(cold_records, server.cold_runs());
     EXPECT_EQ(hit_records, server.warm_hits());
-    EXPECT_EQ(read.records.size(), cold_records + hit_records);
+    EXPECT_EQ(rejected_records, server.rejected());
+    EXPECT_EQ(read.records.size(),
+              cold_records + hit_records + rejected_records);
   }
 }
 
@@ -443,6 +451,214 @@ TEST(Spool, DuplicateIdWithDifferentConfigIsRejectedNotOrphaned) {
   std::stringstream warm;
   warm << std::ifstream(layout.results() + "/shared.json").rdbuf();
   EXPECT_EQ(warm.str().find("REJECTED"), std::string::npos);
+}
+
+// ---- Observability (PR 10): backpressure counters, schema-2 status,
+// cancel markers, the daemon summary, and request-correlated tracing.
+
+TEST(SynthesisServer, QueueFullSubmitCountsOverflowAndHintsRetry) {
+  ServerConfig config;
+  config.workers = 1;
+  config.queue_capacity = 1;  // worker busy + 1 queued = full
+  config.store.mode = StoreConfig::Mode::kOff;
+  config.retry_after_seconds = 2.5;
+  SynthesisServer server(config);
+
+  const auto running = server.submit(fast_request(600));
+  ASSERT_EQ(running.kind, SynthesisServer::Submit::Kind::kAccepted);
+  // Give the single worker a moment to pop the first job off the queue.
+  const auto queued = [&] {
+    for (int tries = 0; tries < 200; ++tries) {
+      const auto s = server.submit(fast_request(601));
+      if (s.kind == SynthesisServer::Submit::Kind::kAccepted) return s;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return server.submit(fast_request(601));
+  }();
+  ASSERT_EQ(queued.kind, SynthesisServer::Submit::Kind::kAccepted);
+
+  // The retry loop above may itself have bounced off a full queue, so
+  // assert the *delta* caused by this one overflowing submit.
+  const std::uint64_t overflow_before = server.overflow();
+  const auto overflow = server.submit(fast_request(602));
+  EXPECT_EQ(overflow.kind, SynthesisServer::Submit::Kind::kRejected);
+  EXPECT_DOUBLE_EQ(overflow.retry_after_seconds, 2.5);
+  EXPECT_NE(overflow.error.find("queue full"), std::string::npos)
+      << overflow.error;
+  EXPECT_EQ(server.overflow(), overflow_before + 1);
+  EXPECT_EQ(server.rejected(), server.overflow());
+
+  // Cut the queued job short so the test doesn't pay a second cold solve.
+  EXPECT_TRUE(server.cancel(queued.key));
+  const auto result = server.wait(queued.key);
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->verdict, "CANCELLED");
+  server.drain();
+  EXPECT_EQ(server.cancelled(), 1u);
+  EXPECT_EQ(server.in_flight(), 0u);
+}
+
+TEST(Spool, StatusSchemaTwoExposesCountersAndNullLatency) {
+  TempDir spool("scs_spool_status_test");
+  SpoolLayout layout{spool.str()};
+  std::string error;
+  ASSERT_TRUE(spool_init(layout, &error)) << error;
+  EXPECT_TRUE(fs::exists(layout.cancel_dir()));
+
+  ServerConfig config;
+  config.store.mode = StoreConfig::Mode::kOff;
+  SynthesisServer server(config);
+  SpoolRunner runner(server, layout);
+  runner.set_instance("unit");
+  runner.write_status();
+
+  std::stringstream text;
+  text << std::ifstream(layout.status_file()).rdbuf();
+  const std::string s = text.str();
+  EXPECT_NE(s.find("\"schema\":2"), std::string::npos) << s;
+  EXPECT_NE(s.find("\"kind\":\"serve_status\""), std::string::npos);
+  EXPECT_NE(s.find("\"instance\":\"unit\""), std::string::npos);
+  EXPECT_NE(s.find("\"queue_capacity\":64"), std::string::npos);
+  EXPECT_NE(s.find("\"retry_after_seconds\""), std::string::npos);
+  EXPECT_NE(s.find("\"counters\":{\"submitted\":0"), std::string::npos);
+  EXPECT_NE(s.find("\"overflow\":0"), std::string::npos);
+  // No traffic yet: latency quantiles are explicit nulls, never 0.
+  EXPECT_NE(s.find("\"queue_wait_ms\":{\"count\":0,\"p50\":null"),
+            std::string::npos)
+      << s;
+  server.drain();
+}
+
+TEST(Spool, CancelMarkerCancelsPendingJobAndIsConsumed) {
+  TempDir spool("scs_spool_cancel_test");
+  SpoolLayout layout{spool.str()};
+  std::string error;
+  ASSERT_TRUE(spool_init(layout, &error)) << error;
+
+  ServerConfig config;
+  config.workers = 1;
+  config.store.mode = StoreConfig::Mode::kOff;
+  SynthesisServer server(config);
+  SpoolRunner runner(server, layout);
+
+  // Two jobs through the inbox; the second queues behind the first.
+  JobRequest first = fast_request(700);
+  first.id = "keep";
+  JobRequest second = fast_request(701);
+  second.id = "kill";
+  ASSERT_TRUE(atomic_write_file(layout.inbox() + "/a.json",
+                                job_request_json(first)));
+  ASSERT_TRUE(atomic_write_file(layout.inbox() + "/b.json",
+                                job_request_json(second)));
+  runner.poll_once();
+  EXPECT_EQ(runner.pending(), 2u);
+
+  // A marker for an unknown id is deferred, not consumed: the request may
+  // still be racing through the inbox, so the next poll retries it. A marker
+  // for an id whose result already exists is a no-op and is consumed.
+  ASSERT_TRUE(atomic_write_file(layout.cancel_dir() + "/nobody", "cancel\n"));
+  EXPECT_EQ(runner.apply_cancel_markers(), 0);
+  EXPECT_TRUE(fs::exists(layout.cancel_dir() + "/nobody"));
+  ASSERT_TRUE(atomic_write_file(layout.results() + "/nobody.json", "{}\n"));
+  EXPECT_EQ(runner.apply_cancel_markers(), 0);
+  EXPECT_FALSE(fs::exists(layout.cancel_dir() + "/nobody"));
+  fs::remove(layout.results() + "/nobody.json");
+
+  // The real marker cancels the queued job cooperatively.
+  ASSERT_TRUE(atomic_write_file(layout.cancel_dir() + "/kill", "cancel\n"));
+  EXPECT_EQ(runner.apply_cancel_markers(), 1);
+  EXPECT_FALSE(fs::exists(layout.cancel_dir() + "/kill"));
+  const auto result = server.wait(serve_key(second));
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->verdict, "CANCELLED");
+
+  ASSERT_NE(server.wait(serve_key(first)), nullptr);
+  runner.poll_once();
+  std::stringstream text;
+  text << std::ifstream(layout.results() + "/kill.json").rdbuf();
+  EXPECT_NE(text.str().find("\"verdict\":\"CANCELLED\""), std::string::npos)
+      << text.str();
+  server.drain();
+}
+
+TEST(Spool, DaemonSummaryRecordCarriesLostRequestSignal) {
+  TempDir spool("scs_spool_summary_test");
+  TempDir ledger_dir("scs_spool_summary_ledger");
+  const std::string ledger = (ledger_dir.path / "runs.jsonl").string();
+  SpoolLayout layout{spool.str()};
+  std::string error;
+  ASSERT_TRUE(spool_init(layout, &error)) << error;
+
+  ServerConfig config;
+  config.store.mode = StoreConfig::Mode::kOff;
+  config.ledger_path = ledger;
+  SynthesisServer server(config);
+  SpoolRunner runner(server, layout);
+  runner.set_instance("summary-unit");
+
+  JobRequest r = fast_request(800);
+  r.id = "only";
+  ASSERT_TRUE(
+      atomic_write_file(layout.inbox() + "/only.json", job_request_json(r)));
+  runner.poll_once();
+  ASSERT_NE(server.wait(serve_key(r)), nullptr);
+  runner.poll_once();
+  EXPECT_EQ(runner.ingested_total(), 1u);
+  EXPECT_EQ(runner.results_written(), 1u);
+  server.drain();
+  ASSERT_TRUE(runner.append_daemon_summary());
+
+  const LedgerReadResult read = ledger_read(ledger);
+  const LedgerRecord* summary = nullptr;
+  for (const LedgerRecord& rec : read.records)
+    if (rec.kind == "bench" && rec.source == "serve_daemon") summary = &rec;
+  ASSERT_NE(summary, nullptr);
+  EXPECT_NE(summary->values_json.find("\"instance\":\"summary-unit\""),
+            std::string::npos)
+      << summary->values_json;
+  EXPECT_NE(summary->values_json.find("\"ingested\":1"), std::string::npos);
+  EXPECT_NE(summary->values_json.find("\"results_written\":1"),
+            std::string::npos);
+  EXPECT_NE(summary->values_json.find("\"queue_wait_ms\""),
+            std::string::npos);
+}
+
+TEST(SynthesisServer, TracedServeTagsLifecycleWithRequestId) {
+  trace_stop();
+  trace_clear();
+  trace_start((fs::temp_directory_path() / "scs_serve_trace.json").string());
+
+  ServerConfig config;
+  config.store.mode = StoreConfig::Mode::kOff;
+  SynthesisServer server(config);
+  JobRequest request = fast_request(900);
+  request.id = "rid-cold";
+  const auto cold = server.submit(request);
+  ASSERT_EQ(cold.kind, SynthesisServer::Submit::Kind::kAccepted);
+  ASSERT_NE(server.wait(cold.key), nullptr);
+  JobRequest again = request;
+  again.id = "rid-warm";
+  const auto warm = server.submit(again);
+  EXPECT_EQ(warm.kind, SynthesisServer::Submit::Kind::kWarmHit);
+  server.drain();
+
+  bool saw_cold_submit = false, saw_queue_wait = false, saw_publish = false;
+  bool saw_warm_instant = false;
+  for (const TraceEvent& e : trace_snapshot()) {
+    if (e.name == "serve.submit" && e.id == "rid-cold") saw_cold_submit = true;
+    if (e.name == "serve.queue_wait" && e.id == "rid-cold")
+      saw_queue_wait = true;
+    if (e.name == "serve.result_publish" && e.id == "rid-cold")
+      saw_publish = true;
+    if (e.name == "serve.warm_hit" && e.id == "rid-warm")
+      saw_warm_instant = true;
+  }
+  trace_stop();
+  trace_clear();
+  EXPECT_TRUE(saw_cold_submit);
+  EXPECT_TRUE(saw_queue_wait);
+  EXPECT_TRUE(saw_publish);
+  EXPECT_TRUE(saw_warm_instant);
 }
 
 }  // namespace
